@@ -1,0 +1,87 @@
+// wlgen inspects and exports the trace-derived workloads: it prints the
+// flow-size CDF at the paper's bucket edges, the analytic mean, and can
+// emit a generated arrival trace as CSV for external tools.
+//
+// Examples:
+//
+//	wlgen -wl hadoop                 # distribution summary
+//	wlgen -wl websearch -trace -ms 2 # CSV arrival trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("wl", "websearch", "workload: websearch | hadoop")
+	file := flag.String("file", "", "load a custom CDF file (HPCC artifact format: 'bytes cum' lines)")
+	export := flag.Bool("export", false, "print the distribution in CDF-file format")
+	trace := flag.Bool("trace", false, "emit a generated arrival trace as CSV")
+	hosts := flag.Int("hosts", 128, "host count for trace generation")
+	ms := flag.Float64("ms", 1, "trace horizon, milliseconds")
+	load := flag.Float64("load", 0.5, "trace load")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	var cdf *workload.CDF
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+		cdf, err = workload.ParseCDF(*file, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+	} else {
+		var ok bool
+		cdf, ok = workload.ByName(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wlgen: unknown workload %q\n", *wl)
+			os.Exit(2)
+		}
+	}
+	if *export {
+		fmt.Print(workload.FormatCDF(cdf))
+		return
+	}
+
+	if !*trace {
+		fmt.Printf("workload %s: mean %.0fB, min %dB, max %dB\n",
+			cdf.Name(), cdf.MeanBytes(), cdf.MinBytes(), cdf.MaxBytes())
+		fmt.Println("quantile  size_bytes")
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+			fmt.Printf("%8.2f  %10d\n", q, cdf.Quantile(q))
+		}
+		return
+	}
+
+	flows, err := workload.Generate(workload.GenConfig{
+		Hosts:     *hosts,
+		AccessBps: 100e9,
+		Load:      *load,
+		CDF:       cdf,
+		Horizon:   sim.FromSeconds(*ms / 1000),
+		Seed:      *seed,
+		FirstID:   1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s trace: %d flows, offered load %.3f\n",
+		cdf.Name(), len(flows),
+		workload.OfferedLoad(flows, *hosts, 100e9, sim.FromSeconds(*ms/1000)))
+	fmt.Println("id,src,dst,bytes,start_us")
+	for _, f := range flows {
+		fmt.Printf("%d,%d,%d,%d,%.3f\n", f.ID, f.SrcHost, f.DstHost, f.SizeBytes, f.Start.Micros())
+	}
+}

@@ -1,0 +1,52 @@
+// Fat-tree FCT comparison: a small (k=4, 16-host) version of the paper's
+// §5.5 experiment. An FB_Hadoop workload at 50% load runs under each
+// scheme; we print the per-size-bucket FCT slowdown tables and the headline
+// reductions of FNCC over the baselines.
+//
+// Run: go run ./examples/fattree            (quick: k=4, 1ms of arrivals)
+// Run: go run ./examples/fattree -k 8 -ms 5 (closer to paper scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	fncc "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	k := flag.Int("k", 4, "fat-tree arity (paper: 8)")
+	ms := flag.Int("ms", 1, "arrival horizon in milliseconds")
+	load := flag.Float64("load", 0.5, "average access-link load")
+	wl := flag.String("wl", "hadoop", "workload: hadoop | websearch")
+	flag.Parse()
+
+	schemes := []string{fncc.SchemeDCQCN, fncc.SchemeHPCC, fncc.SchemeFNCC}
+	fmt.Printf("fat-tree k=%d (%d hosts), %s @ %.0f%% load, %dms of arrivals\n",
+		*k, (*k)*(*k)*(*k)/4, *wl, 100**load, *ms)
+
+	base := fncc.DefaultFCTConfig(fncc.SchemeFNCC, *wl)
+	base.K = *k
+	base.Horizon = sim.Time(*ms) * fncc.Millisecond
+	base.Load = *load
+
+	start := time.Now()
+	merged, runs, err := fncc.RunFCTSweep(base, schemes, []int64{1, 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range runs {
+		fmt.Printf("  %-6s seed %d: %d/%d flows completed, %d pauses, %d drops\n",
+			r.Scheme, r.Seed, r.Completed, r.Generated, r.PauseFrames, r.Drops)
+	}
+	fmt.Printf("  (simulated in %.1fs wall time)\n", time.Since(start).Seconds())
+
+	tables, err := fncc.FormatFCTTables(*wl, merged, schemes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tables)
+	fmt.Println(fncc.FormatHeadlines(*wl, merged))
+}

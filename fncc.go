@@ -1,0 +1,232 @@
+// Package fncc is the public facade of the FNCC reproduction: a
+// packet-level data-center network simulator with four congestion-control
+// schemes (FNCC, HPCC, DCQCN, RoCC), the paper's topologies (dumbbell
+// chains and k-ary fat-trees), trace-driven workloads (WebSearch,
+// FB_Hadoop), and one experiment runner per evaluation figure.
+//
+// # Quick start
+//
+//	scheme := fncc.MustScheme(fncc.SchemeFNCC)
+//	chain := fncc.MustChain(fncc.DefaultNetConfig(), scheme, fncc.DefaultChainOpts(2))
+//	f0 := chain.AddFlow(1, 0, 1<<30, 0)
+//	f1 := chain.AddFlow(2, 1, 1<<30, 300*fncc.Microsecond)
+//	chain.Net.RunUntil(1200 * fncc.Microsecond)
+//
+// See examples/ for runnable programs and DESIGN.md for the map from the
+// paper's figures to the runners re-exported here.
+package fncc
+
+import (
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Time units re-exported from the simulation clock.
+const (
+	Picosecond  = sim.Picosecond
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Time is a simulation timestamp/duration in picoseconds.
+type Time = sim.Time
+
+// Core simulation types.
+type (
+	// Network is the built fabric: engine, nodes, flows, counters.
+	Network = netsim.Network
+	// NetConfig is the fabric-wide configuration (MTU, PFC, ECMP mode...).
+	NetConfig = netsim.Config
+	// Scheme bundles one congestion-control algorithm's three plug points.
+	Scheme = netsim.Scheme
+	// Flow is one RDMA-style transfer.
+	Flow = netsim.Flow
+	// Host is an end station; Switch a fabric switch; Port an attachment.
+	Host   = netsim.Host
+	Switch = netsim.Switch
+	Port   = netsim.Port
+)
+
+// Topology builders.
+type (
+	// Chain is the Fig 10/11 dumbbell-chain topology.
+	Chain = topo.Chain
+	// ChainOpts parameterizes BuildChain.
+	ChainOpts = topo.ChainOpts
+	// FatTree is the §5.5 k-ary fat-tree.
+	FatTree = topo.FatTree
+	// FatTreeOpts parameterizes BuildFatTree.
+	FatTreeOpts = topo.FatTreeOpts
+	// Mesh is an arbitrary switch graph with spanning-tree symmetric
+	// routing (Observation 2 / Fig 6).
+	Mesh = topo.Mesh
+	// MeshOpts parameterizes BuildMesh.
+	MeshOpts = topo.MeshOpts
+)
+
+// Metrics types surfaced by the runners.
+type (
+	// Series is a time series of samples.
+	Series = metrics.Series
+	// Dist is an exact scalar distribution (quantiles).
+	Dist = metrics.Dist
+	// FCTCollector accumulates flow completions.
+	FCTCollector = metrics.FCTCollector
+	// BucketStats is one row of a Fig 14/15 slowdown table.
+	BucketStats = metrics.BucketStats
+)
+
+// Scheme names accepted by NewScheme/MustScheme.
+const (
+	SchemeFNCC       = exp.SchemeFNCC
+	SchemeFNCCNoLHCS = exp.SchemeFNCCNoLHCS
+	SchemeHPCC       = exp.SchemeHPCC
+	SchemeDCQCN      = exp.SchemeDCQCN
+	SchemeRoCC       = exp.SchemeRoCC
+)
+
+// DefaultNetConfig returns the paper's §5 fabric constants (1518 B MTU,
+// PFC at 500 KB, symmetric ECMP, per-packet ACKs).
+func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
+
+// NewScheme builds a congestion-control scheme by name with paper-default
+// parameters.
+func NewScheme(name string) (Scheme, error) { return exp.NewScheme(name) }
+
+// MustScheme is NewScheme that panics on unknown names.
+func MustScheme(name string) Scheme { return exp.MustScheme(name) }
+
+// AllSchemes lists the four compared schemes in canonical order.
+func AllSchemes() []string { return exp.AllSchemes() }
+
+// FNCCConfig exposes the contribution's tuning knobs (α, β, LHCS toggle,
+// All_INT_Table refresh) for custom schemes.
+type FNCCConfig = core.Config
+
+// DefaultFNCCConfig returns the paper's FNCC constants.
+func DefaultFNCCConfig() FNCCConfig { return core.DefaultConfig() }
+
+// NewFNCCScheme builds FNCC with custom parameters.
+func NewFNCCScheme(cfg FNCCConfig) Scheme { return core.NewScheme(cfg) }
+
+// HPCCConfig exposes the HPCC baseline's constants.
+type HPCCConfig = cc.HPCCConfig
+
+// NewHPCCScheme builds HPCC with custom parameters.
+func NewHPCCScheme(cfg HPCCConfig) Scheme { return cc.NewHPCCScheme(cfg) }
+
+// DefaultChainOpts returns the Fig 10 dumbbell (M=3 switches, given sender
+// count, 100 G links, 1.5 us delay).
+func DefaultChainOpts(senders int) ChainOpts { return topo.DefaultChainOpts(senders) }
+
+// BuildChain constructs a chain topology.
+func BuildChain(cfg NetConfig, s Scheme, o ChainOpts) (*Chain, error) {
+	return topo.BuildChain(cfg, s, o)
+}
+
+// MustChain is BuildChain that panics on error.
+func MustChain(cfg NetConfig, s Scheme, o ChainOpts) *Chain { return topo.MustChain(cfg, s, o) }
+
+// DefaultFatTreeOpts returns the §5.5 fabric (k=8, 128 hosts, 100 G).
+func DefaultFatTreeOpts() FatTreeOpts { return topo.DefaultFatTreeOpts() }
+
+// BuildFatTree constructs a fat-tree.
+func BuildFatTree(cfg NetConfig, s Scheme, o FatTreeOpts) (*FatTree, error) {
+	return topo.BuildFatTree(cfg, s, o)
+}
+
+// MustFatTree is BuildFatTree that panics on error.
+func MustFatTree(cfg NetConfig, s Scheme, o FatTreeOpts) *FatTree {
+	return topo.MustFatTree(cfg, s, o)
+}
+
+// Fig6Opts returns the paper's Fig 6-style multi-path mesh example.
+func Fig6Opts() MeshOpts { return topo.Fig6Opts() }
+
+// BuildMesh constructs an arbitrary mesh with spanning-tree routing.
+func BuildMesh(cfg NetConfig, s Scheme, o MeshOpts) (*Mesh, error) {
+	return topo.BuildMesh(cfg, s, o)
+}
+
+// MustMesh is BuildMesh that panics on error.
+func MustMesh(cfg NetConfig, s Scheme, o MeshOpts) *Mesh { return topo.MustMesh(cfg, s, o) }
+
+// Workload distributions.
+var (
+	// WebSearch returns the DCTCP web-search flow-size CDF (Fig 14).
+	WebSearch = workload.WebSearch
+	// FBHadoop returns the Facebook Hadoop flow-size CDF (Fig 15).
+	FBHadoop = workload.FBHadoop
+)
+
+// Experiment runners (one per figure; see DESIGN.md's index).
+type (
+	// MicroConfig / MicroResult: Figs 1b-d, 3, 9 dumbbell micro-benchmark.
+	MicroConfig = exp.MicroConfig
+	MicroResult = exp.MicroResult
+	// HopConfig / HopResult: Fig 13a-d hop-location study.
+	HopConfig = exp.HopConfig
+	HopResult = exp.HopResult
+	// FairnessConfig / FairnessResult: Fig 13e staggered fairness.
+	FairnessConfig = exp.FairnessConfig
+	FairnessResult = exp.FairnessResult
+	// FCTConfig / FCTResult: Figs 14-15 fat-tree FCT sweeps.
+	FCTConfig = exp.FCTConfig
+	FCTResult = exp.FCTResult
+	// IncastConfig / IncastResult: the N-to-1 last-hop burst motivating
+	// LHCS (§3.2.2).
+	IncastConfig = exp.IncastConfig
+	IncastResult = exp.IncastResult
+)
+
+// Experiment entry points.
+var (
+	DefaultMicroConfig    = exp.DefaultMicroConfig
+	RunMicro              = exp.RunMicro
+	RunMicroAll           = exp.RunMicroAll
+	DefaultHopConfig      = exp.DefaultHopConfig
+	RunHop                = exp.RunHop
+	DefaultFairnessConfig = exp.DefaultFairnessConfig
+	RunFairness           = exp.RunFairness
+	DefaultFCTConfig      = exp.DefaultFCTConfig
+	RunFCT                = exp.RunFCT
+	RunFCTSweep           = exp.RunFCTSweep
+	RunNotify             = exp.RunNotify
+	DefaultNotifyConfig   = exp.DefaultNotifyConfig
+	DefaultIncastConfig   = exp.DefaultIncastConfig
+	RunIncast             = exp.RunIncast
+	FormatIncastTable     = exp.FormatIncastTable
+)
+
+// Extension baselines (paper §6 related work; not part of the paper's
+// evaluation): Timely (RTT gradient), Swift (delay target) and ExpressPass
+// (receiver-driven credits).
+const (
+	SchemeTimely      = exp.SchemeTimely
+	SchemeSwift       = exp.SchemeSwift
+	SchemeExpressPass = exp.SchemeExpressPass
+)
+
+// Hop positions for HopConfig.
+const (
+	HopFirst  = exp.HopFirst
+	HopMiddle = exp.HopMiddle
+	HopLast   = exp.HopLast
+)
+
+// Table formatters.
+var (
+	FormatMicroTable  = exp.FormatMicroTable
+	FormatHopTable    = exp.FormatHopTable
+	FormatNotifyTable = exp.FormatNotifyTable
+	FormatFCTTables   = exp.FormatFCTTables
+	FormatHeadlines   = exp.FormatHeadlines
+)

@@ -1,0 +1,114 @@
+package cc
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func swiftAck(echo sim.Time) *packet.Packet {
+	return &packet.Packet{Type: packet.Ack, EchoTS: echo}
+}
+
+func TestSwiftStartsAtBDP(t *testing.T) {
+	_, f := newTestFlow(t, NewSwiftScheme(DefaultSwiftConfig()))
+	s := f.CC().(*Swift)
+	bdp := float64(gbps100) / 8 * (13 * sim.Microsecond).Seconds()
+	if s.wnd < bdp*0.99 || s.wnd > bdp*1.01 {
+		t.Fatalf("w0 = %v, want ~%v", s.wnd, bdp)
+	}
+}
+
+func TestSwiftIncreasesBelowTarget(t *testing.T) {
+	_, f := newTestFlow(t, NewSwiftScheme(DefaultSwiftConfig()))
+	s := f.CC().(*Swift)
+	s.wnd = 50_000
+	w0 := s.wnd
+	// RTT 13us, far below the ~27us+ target.
+	s.OnAck(f, swiftAck(100*sim.Microsecond), 113*sim.Microsecond)
+	if s.wnd <= w0 {
+		t.Fatalf("no increase below target: %v", s.wnd)
+	}
+}
+
+func TestSwiftDecreasesAboveTarget(t *testing.T) {
+	_, f := newTestFlow(t, NewSwiftScheme(DefaultSwiftConfig()))
+	s := f.CC().(*Swift)
+	w0 := s.wnd
+	// RTT 200us, far above target.
+	s.OnAck(f, swiftAck(100*sim.Microsecond), 300*sim.Microsecond)
+	if s.wnd >= w0 {
+		t.Fatalf("no decrease above target: %v", s.wnd)
+	}
+	if s.wnd < w0*(1-DefaultSwiftConfig().MaxMdf)-1 {
+		t.Fatalf("decrease exceeded MaxMdf: %v -> %v", w0, s.wnd)
+	}
+}
+
+func TestSwiftOneCutPerRTT(t *testing.T) {
+	_, f := newTestFlow(t, NewSwiftScheme(DefaultSwiftConfig()))
+	s := f.CC().(*Swift)
+	s.OnAck(f, swiftAck(100*sim.Microsecond), 300*sim.Microsecond)
+	w1 := s.wnd
+	// Second congested ACK 1us later: inside the same RTT, only AI-free
+	// hold (no second cut).
+	s.OnAck(f, swiftAck(101*sim.Microsecond), 301*sim.Microsecond)
+	if s.wnd < w1 {
+		t.Fatalf("second cut within one RTT: %v -> %v", w1, s.wnd)
+	}
+}
+
+func TestSwiftFlowScalingRaisesTargetForSmallWindows(t *testing.T) {
+	_, f := newTestFlow(t, NewSwiftScheme(DefaultSwiftConfig()))
+	s := f.CC().(*Swift)
+	s.wnd = 100_000
+	big := s.target()
+	s.wnd = 1518
+	small := s.target()
+	if small <= big {
+		t.Fatalf("flow scaling: target(small wnd) %v !> target(big wnd) %v", small, big)
+	}
+}
+
+func TestSwiftClosedLoop(t *testing.T) {
+	c := topo.MustChain(netsim.DefaultConfig(), NewSwiftScheme(DefaultSwiftConfig()), topo.DefaultChainOpts(2))
+	f0 := c.AddFlow(1, 0, 1<<30, 0)
+	f1 := c.AddFlow(2, 1, 1<<30, 0)
+	var maxQ int64
+	stop := c.Net.Eng.Ticker(sim.Microsecond, func() {
+		if q := c.BottleneckPort().QueueBytes(); q > maxQ {
+			maxQ = q
+		}
+	})
+	defer stop()
+	c.Net.RunUntil(3 * sim.Millisecond)
+	// Swift is window-limited: judge it by goodput, not pacing rate.
+	a0, a1 := f0.SndUna(), f1.SndUna()
+	c.Net.RunUntil(4 * sim.Millisecond)
+	g0 := float64(f0.SndUna()-a0) * 8 / sim.Millisecond.Seconds()
+	g1 := float64(f1.SndUna()-a1) * 8 / sim.Millisecond.Seconds()
+	if sum := g0 + g1; sum < 60e9 || sum > 110e9 {
+		t.Fatalf("aggregate goodput %.1fG not near line rate", sum/1e9)
+	}
+	if ratio := g0 / g1; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("unfair goodput split: %.1fG / %.1fG", g0/1e9, g1/1e9)
+	}
+	if maxQ == 0 || maxQ > 450_000 {
+		t.Fatalf("queue peak %dKB", maxQ>>10)
+	}
+	if c.Net.Drops.N != 0 {
+		t.Fatal("drops")
+	}
+}
+
+func TestSwiftInRegistryViaScheme(t *testing.T) {
+	// Swift is wired through exp's registry in a separate package; here we
+	// verify the scheme constructor contract directly.
+	sch := NewSwiftScheme(DefaultSwiftConfig())
+	if sch.Name != "Swift" || sch.NewSenderCC == nil || sch.Receiver == nil {
+		t.Fatal("malformed Swift scheme")
+	}
+}

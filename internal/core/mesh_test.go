@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// FNCC on the Fig 6 multi-path mesh with spanning-tree routing: the whole
+// Observation-2 story — ACKs must traverse exactly the data path's switches
+// (in reverse), so the INT they accumulate describes the right queues.
+
+func TestFNCCOnMeshCompletes(t *testing.T) {
+	m := topo.MustMesh(netsim.DefaultConfig(), NewScheme(DefaultConfig()), topo.Fig6Opts())
+	var flows []*netsim.Flow
+	id := uint64(1)
+	for s := range m.Hosts {
+		for d := range m.Hosts {
+			if s != d {
+				flows = append(flows, m.AddFlow(id, s, d, 50_000, 0))
+				id++
+			}
+		}
+	}
+	m.Net.RunUntil(20 * sim.Millisecond)
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d incomplete on mesh", f.ID)
+		}
+	}
+	if m.Net.Drops.N != 0 {
+		t.Fatalf("drops: %d", m.Net.Drops.N)
+	}
+}
+
+func TestFNCCMeshAckIntConsistent(t *testing.T) {
+	// Sniff FNCC ACK telemetry on the mesh: every ACK with INT must carry
+	// a constant hop count per flow (path pinned to one tree) and a stable
+	// pathID — the reroute-detection field of Fig 7.
+	cfg := DefaultConfig()
+	sch := NewScheme(cfg)
+	flows := map[uint64]*ackSeen{}
+	inner := sch.NewSenderCC
+	sch.NewSenderCC = func(f *netsim.Flow) netsim.SenderCC {
+		return &ackSniffer{Sender: inner(f).(*Sender), flows: flows}
+	}
+	m := topo.MustMesh(netsim.DefaultConfig(), sch, topo.Fig6Opts())
+	id := uint64(1)
+	for s := range m.Hosts {
+		for d := range m.Hosts {
+			if s != d {
+				m.AddFlow(id, s, d, 80_000, 0)
+				id++
+			}
+		}
+	}
+	m.Net.RunUntil(20 * sim.Millisecond)
+
+	checked := 0
+	for fid, s := range flows {
+		if s.count < 2 {
+			continue
+		}
+		checked++
+		if s.mixed {
+			t.Fatalf("flow %d: ACKs saw varying hop counts / pathIDs (path not pinned)", fid)
+		}
+		if s.hops < 1 || s.hops > 6 {
+			t.Fatalf("flow %d: implausible hop count %d", fid, s.hops)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d flows checked", checked)
+	}
+}
+
+// ackSeen aggregates per-flow ACK telemetry observations.
+type ackSeen struct {
+	hops   int
+	pathID uint16
+	count  int
+	mixed  bool
+}
+
+type ackSniffer struct {
+	*Sender
+	flows map[uint64]*ackSeen
+}
+
+func (a *ackSniffer) OnAck(f *netsim.Flow, ack *packet.Packet, now sim.Time) {
+	if ack.NHop() > 0 {
+		s := a.flows[f.ID]
+		if s == nil {
+			s = &ackSeen{hops: ack.NHop(), pathID: ack.PathID()}
+			a.flows[f.ID] = s
+		}
+		s.count++
+		if s.hops != ack.NHop() || s.pathID != ack.PathID() {
+			s.mixed = true
+		}
+	}
+	a.Sender.OnAck(f, ack, now)
+}
+
+func TestPeriodicTableStaleness(t *testing.T) {
+	// With a large All_INT_Table refresh period the INT is stale but the
+	// system must remain stable and still outperform nothing-at-all:
+	// flows complete and the queue stays bounded by the PFC threshold.
+	cfg := DefaultConfig()
+	cfg.TableUpdatePeriod = 20 * sim.Microsecond // ~1.5 RTTs stale
+	c := topo.MustChain(netsim.DefaultConfig(), NewScheme(cfg), topo.DefaultChainOpts(2))
+	c.AddFlow(1, 0, 1<<30, 0)
+	c.AddFlow(2, 1, 1<<30, 300*sim.Microsecond)
+	var maxQ int64
+	stop := c.Net.Eng.Ticker(sim.Microsecond, func() {
+		if q := c.BottleneckPort().QueueBytes(); q > maxQ {
+			maxQ = q
+		}
+	})
+	defer stop()
+	c.Net.RunUntil(1200 * sim.Microsecond)
+	if maxQ == 0 {
+		t.Fatal("no queue — broken setup")
+	}
+	if maxQ > 500<<10 {
+		t.Fatalf("stale-table queue hit %dKB (PFC threshold)", maxQ>>10)
+	}
+	if c.Net.Drops.N != 0 {
+		t.Fatal("drops")
+	}
+}
+
+func TestStaleTableWorseThanLive(t *testing.T) {
+	// Freshness matters: the live-read table (period 0) should hold the
+	// queue no higher than a very stale one.
+	peak := func(period sim.Time) int64 {
+		cfg := DefaultConfig()
+		cfg.TableUpdatePeriod = period
+		c := topo.MustChain(netsim.DefaultConfig(), NewScheme(cfg), topo.DefaultChainOpts(2))
+		c.AddFlow(1, 0, 1<<30, 0)
+		c.AddFlow(2, 1, 1<<30, 300*sim.Microsecond)
+		var maxQ int64
+		stop := c.Net.Eng.Ticker(sim.Microsecond, func() {
+			if q := c.BottleneckPort().QueueBytes(); q > maxQ {
+				maxQ = q
+			}
+		})
+		defer stop()
+		c.Net.RunUntil(900 * sim.Microsecond)
+		return maxQ
+	}
+	live := peak(0)
+	stale := peak(50 * sim.Microsecond)
+	if live > stale+20_000 {
+		t.Fatalf("live table (%dKB) much worse than 50us-stale (%dKB)?", live>>10, stale>>10)
+	}
+}
+
+func TestFNCCMultiClassFabric(t *testing.T) {
+	// FNCC on a 2-SL fabric: both classes' flows complete, per-class PFC
+	// does not wedge the INT-in-ACK path (ACKs ride the flow's class).
+	ncfg := netsim.DefaultConfig()
+	ncfg.PriorityLevels = 2
+	c := topo.MustChain(ncfg, NewScheme(DefaultConfig()), topo.DefaultChainOpts(2))
+	f0 := c.AddFlow(1, 0, 1_000_000, 0)
+	f0.Class = 0
+	f1 := c.AddFlow(2, 1, 1_000_000, 0)
+	f1.Class = 1
+	c.Net.RunUntil(10 * sim.Millisecond)
+	if !f0.Done() || !f1.Done() {
+		t.Fatal("multi-class FNCC flows incomplete")
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"repro/internal/sim"
+)
+
+// NotifyConfig is the E10 experiment quantifying Fig 2/Fig 12's theoretical
+// model: with congestion placed at each hop of the chain, how long after
+// onset does the victim sender first react, per scheme?
+type NotifyConfig struct {
+	Schemes []string
+	RateBps int64
+}
+
+// DefaultNotifyConfig compares all four schemes at 100 G.
+func DefaultNotifyConfig() NotifyConfig {
+	return NotifyConfig{Schemes: AllSchemes(), RateBps: 100e9}
+}
+
+// NotifyRow is one (scheme, hop) measurement.
+type NotifyRow struct {
+	Scheme string
+	Hop    HopPosition
+	// Latency is the time from congestion onset (the second flow's start)
+	// to the victim's first rate decrease; -1 if it never reacted.
+	Latency sim.Time
+}
+
+// RunNotify measures notification latency for each scheme at each hop
+// position, in parallel.
+func RunNotify(cfg NotifyConfig) ([]NotifyRow, error) {
+	type job struct {
+		scheme string
+		hop    HopPosition
+	}
+	var jobs []job
+	for _, s := range cfg.Schemes {
+		for _, h := range []HopPosition{HopFirst, HopMiddle, HopLast} {
+			jobs = append(jobs, job{s, h})
+		}
+	}
+	type out struct {
+		row NotifyRow
+		err error
+	}
+	results := ParallelMap(jobs, 0, func(j job) out {
+		hc := DefaultHopConfig(j.scheme, j.hop)
+		hc.RateBps = cfg.RateBps
+		hc.Flow1Stop = false // persistent congestion for a clean onset edge
+		hc.SampleEvery = 200 * sim.Nanosecond
+		hc.Duration = 600 * sim.Microsecond
+		r, err := RunHop(hc)
+		if err != nil {
+			return out{err: err}
+		}
+		lat := sim.Time(-1)
+		threshold := 0.85 * float64(cfg.RateBps)
+		for _, p := range r.Rates[0].Points {
+			if p.T >= hc.Flow1Start && p.V < threshold {
+				lat = p.T - hc.Flow1Start
+				break
+			}
+		}
+		return out{row: NotifyRow{Scheme: j.scheme, Hop: j.hop, Latency: lat}}
+	})
+	rows := make([]NotifyRow, 0, len(results))
+	for _, o := range results {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows = append(rows, o.row)
+	}
+	return rows, nil
+}

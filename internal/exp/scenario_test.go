@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Scenario tests beyond the paper's figures: classic congestion-control
+// sanity checks that a credible CC implementation must pass.
+
+// TestParkingLot runs the parking-lot topology: a long flow crossing all
+// three hops competes with short-path flows joining at each switch. The
+// long-path flow must not be starved (it should get a meaningful share of
+// its bottleneck), and no queue may grow unboundedly.
+func TestParkingLot(t *testing.T) {
+	for _, schemeName := range []string{SchemeFNCC, SchemeHPCC} {
+		opts := topo.DefaultChainOpts(3)
+		opts.SenderAttach = []int{0, 1, 2} // long flow + one joiner per hop
+		c := topo.MustChain(netsim.DefaultConfig(), MustScheme(schemeName), opts)
+
+		long := c.AddFlow(1, 0, 1<<40, 0)
+		c.AddFlow(2, 1, 1<<40, 0)
+		c.AddFlow(3, 2, 1<<40, 0)
+		c.Net.RunUntil(3 * sim.Millisecond)
+
+		// Long flow's goodput over the last millisecond.
+		acked0 := long.SndUna()
+		c.Net.RunUntil(4 * sim.Millisecond)
+		goodput := float64(long.SndUna()-acked0) * 8 / sim.Millisecond.Seconds()
+
+		// Fair share at its tightest constraint is B/2 per hop; accepted
+		// band is wide — the assertion is "not starved, not dominating".
+		if goodput < 15e9 {
+			t.Errorf("%s: long flow starved in parking lot: %.1fG", schemeName, goodput/1e9)
+		}
+		if goodput > 70e9 {
+			t.Errorf("%s: long flow dominating: %.1fG", schemeName, goodput/1e9)
+		}
+		if c.Net.Drops.N != 0 {
+			t.Errorf("%s: drops in parking lot", schemeName)
+		}
+	}
+}
+
+// TestFlowChurn exercises rapid join/leave: 50 short flows arriving every
+// ~20us over a shared bottleneck; everything must complete and the FCT
+// collector must be consistent.
+func TestFlowChurn(t *testing.T) {
+	c := topo.MustChain(netsim.DefaultConfig(), MustScheme(SchemeFNCC), topo.DefaultChainOpts(4))
+	n := 50
+	for i := 0; i < n; i++ {
+		c.AddFlow(uint64(i+1), i%4, 100_000, sim.Time(i)*20*sim.Microsecond)
+	}
+	if !c.Net.RunToCompletion(sim.Second) {
+		t.Fatal("churn flows incomplete")
+	}
+	if c.Net.FCT.N() != n {
+		t.Fatalf("FCT records %d != %d", c.Net.FCT.N(), n)
+	}
+	for _, r := range c.Net.FCT.Records {
+		if r.Finish <= r.Start {
+			t.Fatalf("record %d: finish %v <= start %v", r.FlowID, r.Finish, r.Start)
+		}
+		if r.Slowdown() < 1 {
+			t.Fatalf("record %d: slowdown %v < 1", r.FlowID, r.Slowdown())
+		}
+	}
+}
+
+// TestTimelyRunsOnMicro drives the Timely extension through the standard
+// micro-benchmark: it must slow down after the join (later than FNCC) and
+// keep the queue bounded.
+func TestTimelyRunsOnMicro(t *testing.T) {
+	cfg := DefaultMicroConfig(SchemeTimely, 100e9)
+	cfg.Duration = 900 * sim.Microsecond
+	r, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FirstSlowdown < 0 {
+		t.Fatal("Timely never slowed down")
+	}
+	if r.Drops != 0 {
+		t.Fatalf("drops: %d", r.Drops)
+	}
+	fncc, err := RunMicro(DefaultMicroConfig(SchemeFNCC, 100e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FirstSlowdown < fncc.FirstSlowdown {
+		t.Errorf("RTT-based Timely (%v) reacted before INT-in-ACK FNCC (%v)?",
+			r.FirstSlowdown, fncc.FirstSlowdown)
+	}
+}
+
+// TestSwiftRunsOnMicro drives the Swift extension through the standard
+// micro-benchmark.
+func TestSwiftRunsOnMicro(t *testing.T) {
+	cfg := DefaultMicroConfig(SchemeSwift, 100e9)
+	cfg.Duration = 900 * sim.Microsecond
+	r, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drops != 0 {
+		t.Fatalf("drops: %d", r.Drops)
+	}
+	if r.QueuePeak == 0 || r.QueuePeak > 500<<10 {
+		t.Fatalf("Swift queue peak %.0fKB", r.QueuePeak/1024)
+	}
+}
+
+// TestMicroSenderScaling: the dumbbell with 4 senders still converges to
+// an aggregate near line rate for FNCC (N scales in LHCS).
+func TestMicroSenderScaling(t *testing.T) {
+	cfg := DefaultMicroConfig(SchemeFNCC, 100e9)
+	cfg.Senders = 4
+	cfg.Flow1Start = 100 * sim.Microsecond
+	cfg.Duration = 1500 * sim.Microsecond
+	r, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rates) != 4 {
+		t.Fatalf("rate series: %d", len(r.Rates))
+	}
+	if r.MeanUtil < 0.7 {
+		t.Fatalf("4-sender utilization %.2f", r.MeanUtil)
+	}
+	if r.QueuePeak > 500<<10 {
+		t.Fatalf("queue peak %dKB at PFC threshold", int64(r.QueuePeak)/1024)
+	}
+}

@@ -1,0 +1,91 @@
+// Package exp contains the experiment harness: one runner per table/figure
+// of the paper's evaluation (§5), a scheme registry, result tables, and a
+// parallel multi-seed executor. DESIGN.md's experiment index maps each
+// figure to the runner here that regenerates it.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// Canonical scheme names accepted by the registry.
+const (
+	SchemeFNCC       = "FNCC"
+	SchemeFNCCNoLHCS = "FNCC-noLHCS"
+	SchemeHPCC       = "HPCC"
+	SchemeDCQCN      = "DCQCN"
+	SchemeRoCC       = "RoCC"
+	// SchemeTimely, SchemeSwift and SchemeExpressPass are extension
+	// baselines (cited in the paper's related work but not part of its
+	// evaluation).
+	SchemeTimely      = "Timely"
+	SchemeSwift       = "Swift"
+	SchemeExpressPass = "ExpressPass"
+)
+
+// AllSchemes lists the four schemes of the paper's comparison.
+func AllSchemes() []string {
+	return []string{SchemeFNCC, SchemeHPCC, SchemeDCQCN, SchemeRoCC}
+}
+
+// NewScheme builds a scheme by name with the paper's default parameters.
+func NewScheme(name string) (netsim.Scheme, error) {
+	switch name {
+	case SchemeFNCC:
+		return core.NewScheme(core.DefaultConfig()), nil
+	case SchemeFNCCNoLHCS:
+		cfg := core.DefaultConfig()
+		cfg.EnableLHCS = false
+		s := core.NewScheme(cfg)
+		s.Name = SchemeFNCCNoLHCS
+		return s, nil
+	case SchemeHPCC:
+		return cc.NewHPCCScheme(cc.DefaultHPCCConfig()), nil
+	case SchemeDCQCN:
+		return cc.NewDCQCNScheme(cc.DefaultDCQCNConfig()), nil
+	case SchemeRoCC:
+		return cc.NewRoCCScheme(cc.DefaultRoCCConfig()), nil
+	case SchemeTimely:
+		return cc.NewTimelyScheme(cc.DefaultTimelyConfig()), nil
+	case SchemeSwift:
+		return cc.NewSwiftScheme(cc.DefaultSwiftConfig()), nil
+	case SchemeExpressPass:
+		return cc.NewExpressPassScheme(cc.DefaultExpressPassConfig()), nil
+	default:
+		return netsim.Scheme{}, fmt.Errorf("exp: unknown scheme %q (have %v)",
+			name, append(AllSchemes(), SchemeFNCCNoLHCS))
+	}
+}
+
+// MustScheme is NewScheme that panics on error.
+func MustScheme(name string) netsim.Scheme {
+	s, err := NewScheme(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SortSchemes orders names canonically (FNCC variants, HPCC, DCQCN, RoCC).
+func SortSchemes(names []string) {
+	rank := map[string]int{
+		SchemeFNCC: 0, SchemeFNCCNoLHCS: 1, SchemeHPCC: 2, SchemeDCQCN: 3,
+		SchemeRoCC: 4, SchemeTimely: 5, SchemeSwift: 6, SchemeExpressPass: 7,
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, iok := rank[names[i]]
+		rj, jok := rank[names[j]]
+		if iok && jok {
+			return ri < rj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+}

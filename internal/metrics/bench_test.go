@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkDistObserveQuantile(b *testing.B) {
+	d := NewDist()
+	for i := 0; i < b.N; i++ {
+		d.Observe(float64(i % 1000))
+		if i%4096 == 4095 {
+			_ = d.P95() // forces re-sort after appends
+		}
+	}
+}
+
+func BenchmarkSeriesAdd(b *testing.B) {
+	s := NewSeries("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(sim.Time(i), float64(i))
+	}
+}
+
+func BenchmarkJainIndex(b *testing.B) {
+	xs := make([]float64, 128)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v += JainIndex(xs)
+	}
+	_ = v
+}

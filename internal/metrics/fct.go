@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// FCTRecord captures one completed flow.
+type FCTRecord struct {
+	FlowID    uint64
+	SizeBytes int64
+	Start     sim.Time
+	Finish    sim.Time
+	// Ideal is the standalone completion time of the same flow on an empty
+	// network (store-and-forward first packet + remaining bytes at the
+	// bottleneck rate). Slowdown = actual / ideal, the paper's metric.
+	Ideal sim.Time
+}
+
+// FCT returns the measured completion time.
+func (r FCTRecord) FCT() sim.Time { return r.Finish - r.Start }
+
+// Slowdown returns FCT normalized by the ideal FCT (>= 1 in a well-behaved
+// simulation; values below 1 indicate an ideal-model mismatch and are
+// clamped so they remain visible but cannot flip comparisons).
+func (r FCTRecord) Slowdown() float64 {
+	if r.Ideal <= 0 {
+		return 0
+	}
+	s := float64(r.FCT()) / float64(r.Ideal)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// FCTCollector accumulates completed flows for one simulation run.
+type FCTCollector struct {
+	Records []FCTRecord
+}
+
+// NewFCTCollector returns an empty collector.
+func NewFCTCollector() *FCTCollector { return &FCTCollector{} }
+
+// Record appends one completed flow.
+func (c *FCTCollector) Record(r FCTRecord) { c.Records = append(c.Records, r) }
+
+// Merge folds another collector's records into c.
+func (c *FCTCollector) Merge(o *FCTCollector) {
+	c.Records = append(c.Records, o.Records...)
+}
+
+// N returns the number of completed flows.
+func (c *FCTCollector) N() int { return len(c.Records) }
+
+// SlowdownDist returns the slowdown distribution of flows whose size lies in
+// (lo, hi] bytes. Pass lo=0 to include the smallest flows, hi=1<<62 for no
+// upper bound.
+func (c *FCTCollector) SlowdownDist(lo, hi int64) *Dist {
+	d := NewDist()
+	for _, r := range c.Records {
+		if r.SizeBytes > lo && r.SizeBytes <= hi {
+			d.Observe(r.Slowdown())
+		}
+	}
+	return d
+}
+
+// Bucket is one flow-size bin of the Figs 14/15 tables.
+type Bucket struct {
+	Label  string
+	LoByte int64 // exclusive
+	HiByte int64 // inclusive
+}
+
+// BucketStats is the per-bucket summary row: avg / median / p95 / p99
+// slowdown, matching the four panels of Figs 14 and 15.
+type BucketStats struct {
+	Bucket
+	N      int
+	Avg    float64
+	Median float64
+	P95    float64
+	P99    float64
+}
+
+// BucketTable computes one row per bucket.
+func (c *FCTCollector) BucketTable(buckets []Bucket) []BucketStats {
+	out := make([]BucketStats, 0, len(buckets))
+	for _, b := range buckets {
+		d := c.SlowdownDist(b.LoByte, b.HiByte)
+		out = append(out, BucketStats{
+			Bucket: b, N: d.N(),
+			Avg: d.Mean(), Median: d.Median(), P95: d.P95(), P99: d.P99(),
+		})
+	}
+	return out
+}
+
+// FormatBucketTable renders rows for several schemes side by side, one
+// statistic at a time — the textual equivalent of one panel of Fig 14/15.
+// stats maps scheme name -> rows (all computed over the same buckets).
+func FormatBucketTable(stat string, order []string, stats map[string][]BucketStats) string {
+	var b strings.Builder
+	pick := func(r BucketStats) float64 {
+		switch stat {
+		case "avg":
+			return r.Avg
+		case "median":
+			return r.Median
+		case "p95":
+			return r.P95
+		case "p99":
+			return r.P99
+		default:
+			panic("metrics: unknown stat " + stat)
+		}
+	}
+	fmt.Fprintf(&b, "%-8s", "size")
+	for _, s := range order {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	fmt.Fprintf(&b, "%8s\n", "n")
+	var nRows int
+	for _, rows := range stats {
+		nRows = len(rows)
+		break
+	}
+	for i := 0; i < nRows; i++ {
+		var label string
+		var n int
+		for _, s := range order {
+			label = stats[s][i].Label
+			n = stats[s][i].N
+			break
+		}
+		fmt.Fprintf(&b, "%-8s", label)
+		for _, s := range order {
+			fmt.Fprintf(&b, "%12.2f", pick(stats[s][i]))
+		}
+		fmt.Fprintf(&b, "%8d\n", n)
+	}
+	return b.String()
+}
+
+// SortByStart orders records chronologically (stable output for goldens).
+func (c *FCTCollector) SortByStart() {
+	sort.Slice(c.Records, func(i, j int) bool {
+		if c.Records[i].Start != c.Records[j].Start {
+			return c.Records[i].Start < c.Records[j].Start
+		}
+		return c.Records[i].FlowID < c.Records[j].FlowID
+	})
+}
+
+// Counter is a named monotonic event counter (PFC pauses, ECN marks, drops).
+type Counter struct {
+	Name string
+	N    int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.N++ }
+
+// Add adds n (n may be negative only in tests; production callers add >= 0).
+func (c *Counter) Add(n int64) { c.N += n }

@@ -1,0 +1,391 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Flow is one unidirectional RDMA-style data transfer (an RC Write over a
+// queue pair). Sender-side state lives here; receiver-side state (rcvNxt,
+// coalescing counters) does too, owned by the destination host.
+type Flow struct {
+	ID        uint64
+	SrcHost   *Host
+	DstHost   *Host
+	SrcPort   uint16
+	DstPort   uint16
+	SizeBytes int64
+	Start     sim.Time
+
+	// Class is the service level the flow's frames ride on (0 = highest
+	// priority; the paper's experiments put everything on one SL). Set it
+	// after AddFlow, before the flow starts.
+	Class uint8
+
+	// IdealFCT is the standalone completion time used for slowdown; the
+	// harness fills it from the topology before the run.
+	IdealFCT sim.Time
+
+	cc SenderCC
+
+	// Sender state.
+	sndNxt     int64
+	sndUna     int64
+	nextSendAt sim.Time
+	finished   bool
+	retxEv     *sim.Event
+
+	// Receiver state.
+	credited int64 // bytes granted by receiver credits (credit schemes)
+
+	rcvNxt     int64
+	rcvDone    bool
+	ackPending int
+	lastNackAt sim.Time
+	FinishedAt sim.Time // receiver-side completion (valid once rcvDone)
+	// CnpLastAt is receiver-side DCQCN state: when the last CNP for this
+	// flow was emitted (CNPs are paced to one per interval per flow).
+	CnpLastAt sim.Time
+}
+
+// CC returns the flow's congestion-control state (harnesses sample rates).
+func (f *Flow) CC() SenderCC { return f.cc }
+
+// SndNxt returns the next byte sequence to transmit.
+func (f *Flow) SndNxt() int64 { return f.sndNxt }
+
+// SndUna returns the lowest unacknowledged byte.
+func (f *Flow) SndUna() int64 { return f.sndUna }
+
+// Inflight returns the bytes sent but not yet cumulatively acknowledged.
+func (f *Flow) Inflight() int64 { return f.sndNxt - f.sndUna }
+
+// Finished reports sender-side completion (all bytes acknowledged).
+func (f *Flow) Finished() bool { return f.finished }
+
+// Credited returns total bytes granted by receiver credits.
+func (f *Flow) Credited() int64 { return f.credited }
+
+// RcvNxt returns the receiver's next expected byte.
+func (f *Flow) RcvNxt() int64 { return f.rcvNxt }
+
+// Done reports receiver-side completion.
+func (f *Flow) Done() bool { return f.rcvDone }
+
+// Host is an end station with a single NIC port. It originates paced,
+// window-limited data flows and generates ACKs/NACKs/CNPs for inbound ones.
+type Host struct {
+	id   int32
+	net  *Network
+	port *Port
+
+	sending []*Flow // flows this host originates, active or pending
+	rr      int     // round-robin cursor over sending
+	byID    map[uint64]*Flow
+	inbound map[uint64]*Flow
+
+	activeInbound int // live inbound QPs: FNCC's N (Observation 4)
+
+	pacerEv *sim.Event
+}
+
+// ID implements Node.
+func (h *Host) ID() int32 { return h.id }
+
+// NumPorts implements Node.
+func (h *Host) NumPorts() int { return 1 }
+
+// PortAt implements Node.
+func (h *Host) PortAt(i int) *Port {
+	if i != 0 {
+		panic(fmt.Sprintf("netsim: host %d has a single port", h.id))
+	}
+	return h.port
+}
+
+// Port returns the host's NIC port.
+func (h *Host) Port() *Port { return h.port }
+
+// Net returns the owning network.
+func (h *Host) Net() *Network { return h.net }
+
+// ActiveInbound returns the number of inbound flows whose QP is live: the
+// count the FNCC receiver writes into ACKs as N.
+func (h *Host) ActiveInbound() int { return h.activeInbound }
+
+// InboundFlow returns the receiver-side flow state for a live inbound QP
+// (nil if unknown). Receiver CC implementations use it for per-flow pacing
+// state such as DCQCN's CNP timer.
+func (h *Host) InboundFlow(id uint64) *Flow { return h.inbound[id] }
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *packet.Packet, inPort int) {
+	switch pkt.Type {
+	case packet.PfcPause:
+		h.port.setClassPaused(int(pkt.PauseClass), true)
+	case packet.PfcResume:
+		h.port.setClassPaused(int(pkt.PauseClass), false)
+	case packet.Data:
+		h.handleData(pkt)
+	case packet.Ack, packet.Nack:
+		h.handleAck(pkt)
+	case packet.Cnp:
+		if f, ok := h.byID[pkt.FlowID]; ok && !f.finished {
+			f.cc.OnCnp(f, h.net.Eng.Now())
+		}
+	case packet.Credit:
+		if f, ok := h.byID[pkt.FlowID]; ok && !f.finished {
+			f.credited += int64(pkt.PayloadBytes)
+			if sink, ok := f.cc.(CreditSink); ok {
+				sink.OnCredit(f, int64(pkt.PayloadBytes), h.net.Eng.Now())
+			}
+			h.trySend()
+		}
+	default:
+		panic(fmt.Sprintf("netsim: host %d received %v", h.id, pkt.Type))
+	}
+}
+
+// handleData runs the receiver side: in-order delivery, go-back-N NACKs,
+// cumulative ACK generation, CNP generation, and completion accounting.
+func (h *Host) handleData(d *packet.Packet) {
+	f, ok := h.inbound[d.FlowID]
+	if !ok {
+		panic(fmt.Sprintf("netsim: host %d: data for unknown flow %d", h.id, d.FlowID))
+	}
+	now := h.net.Eng.Now()
+	cfg := &h.net.Cfg
+
+	// DCQCN: every ECN-marked arrival may elicit a CNP, paced by the
+	// receiver CC.
+	if d.ECN && h.net.Scheme.Receiver.WantCnp(d, h, now) {
+		h.sendControl(&packet.Packet{
+			Type: packet.Cnp, FlowID: f.ID,
+			Src: h.id, Dst: f.SrcHost.id,
+			SrcPort: f.DstPort, DstPort: f.SrcPort,
+			Class:    f.Class,
+			SendTime: now,
+		})
+	}
+
+	switch {
+	case d.Seq == f.rcvNxt:
+		f.rcvNxt += int64(d.PayloadBytes)
+		if f.rcvNxt >= f.SizeBytes && !f.rcvDone {
+			f.rcvDone = true
+			f.FinishedAt = now
+			h.activeInbound--
+			if pacer, ok := h.net.Scheme.Receiver.(CreditPacer); ok {
+				pacer.OnInboundDone(f, h)
+			}
+			h.net.flowCompleted(f, now)
+		}
+		f.ackPending++
+		if f.ackPending >= cfg.AckEveryN || d.Last || f.rcvDone {
+			f.ackPending = 0
+			h.sendAck(f, d, packet.Ack)
+		}
+	case d.Seq > f.rcvNxt:
+		// Gap: request go-back-N, rate limited per flow.
+		if now-f.lastNackAt >= cfg.NackMinGap {
+			f.lastNackAt = now
+			h.sendAck(f, d, packet.Nack)
+		}
+	default:
+		// Stale retransmission overlap; re-ACK cumulatively so the sender
+		// advances.
+		h.sendAck(f, d, packet.Ack)
+	}
+}
+
+// sendAck emits a cumulative ACK or NACK for flow f, letting the scheme's
+// receiver fill its fields (INT echo, N, fair rate).
+func (h *Host) sendAck(f *Flow, data *packet.Packet, typ packet.Type) {
+	ack := &packet.Packet{
+		Type: typ, FlowID: f.ID,
+		Src: h.id, Dst: f.SrcHost.id,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Seq:      f.rcvNxt,
+		Class:    f.Class,
+		SendTime: h.net.Eng.Now(),
+	}
+	h.net.Scheme.Receiver.FillAck(ack, data, h)
+	h.sendControl(ack)
+}
+
+// sendControl pushes a non-data frame straight into the NIC queue (ACKs are
+// small and are not paced).
+func (h *Host) sendControl(pkt *packet.Packet) {
+	h.port.enqueue(pkt)
+}
+
+// SendCredit emits a receiver-driven transmission grant for inbound flow f
+// (ExpressPass-style schemes; see netsim.CreditPacer).
+func (h *Host) SendCredit(f *Flow, bytes int) {
+	h.sendControl(&packet.Packet{
+		Type: packet.Credit, FlowID: f.ID,
+		Src: h.id, Dst: f.SrcHost.id,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		PayloadBytes: bytes,
+		Class:        f.Class,
+		SendTime:     h.net.Eng.Now(),
+	})
+}
+
+// handleAck runs the sender side on ACK/NACK arrival.
+func (h *Host) handleAck(a *packet.Packet) {
+	f, ok := h.byID[a.FlowID]
+	if !ok {
+		panic(fmt.Sprintf("netsim: host %d: ack for unknown flow %d", h.id, a.FlowID))
+	}
+	now := h.net.Eng.Now()
+
+	progressed := false
+	if a.Seq > f.sndUna {
+		f.sndUna = a.Seq
+		progressed = true
+	}
+	if a.Type == packet.Nack {
+		// Go-back-N rewind: resume from the receiver's cumulative point.
+		if f.sndNxt > f.sndUna {
+			f.sndNxt = f.sndUna
+		}
+	}
+
+	if !f.finished {
+		// NACKs carry the same telemetry as ACKs (both traverse the return
+		// path), so the RP consumes either.
+		f.cc.OnAck(f, a, now)
+	}
+
+	if f.sndUna >= f.SizeBytes && !f.finished {
+		f.finished = true
+		if f.retxEv != nil {
+			h.net.Eng.Cancel(f.retxEv)
+			f.retxEv = nil
+		}
+	} else if progressed {
+		h.armRetx(f)
+	}
+	h.trySend()
+}
+
+// startFlow activates a pending flow at its start time.
+func (h *Host) startFlow(f *Flow) {
+	h.sending = append(h.sending, f)
+	h.trySend()
+}
+
+// trySend is the NIC scheduler: if the transmitter is free, pick the next
+// eligible flow round-robin and serialize exactly one packet. Eligibility =
+// has bytes, within CC window, past its pacing deadline. If every flow is
+// only pacing-blocked, arm the pacer timer for the earliest deadline.
+func (h *Host) trySend() {
+	p := h.port
+	if p.busy || p.QueueFrames() > 0 {
+		return // transmitter occupied; onIdle will call back
+	}
+	now := h.net.Eng.Now()
+	payload := h.net.Cfg.PayloadBytes()
+
+	soonest := sim.Time(-1)
+	n := len(h.sending)
+	for i := 0; i < n; i++ {
+		idx := (h.rr + i) % n
+		f := h.sending[idx]
+		if f.finished || f.sndNxt >= f.SizeBytes {
+			continue
+		}
+		if p.ClassPaused(p.class(&packet.Packet{Class: f.Class})) {
+			continue // this service level is PFC-paused; others may go
+		}
+		seg := int64(payload)
+		if remain := f.SizeBytes - f.sndNxt; remain < seg {
+			seg = remain
+		}
+		if f.Inflight()+seg > f.cc.WindowBytes() {
+			continue // window-limited: an ACK will reopen
+		}
+		if now < f.nextSendAt {
+			if soonest < 0 || f.nextSendAt < soonest {
+				soonest = f.nextSendAt
+			}
+			continue
+		}
+		h.rr = (idx + 1) % n
+		h.sendSegment(f, int(seg), now)
+		return
+	}
+	if soonest >= 0 {
+		h.armPacer(soonest)
+	}
+}
+
+// sendSegment injects one data segment of flow f.
+func (h *Host) sendSegment(f *Flow, payload int, now sim.Time) {
+	pkt := &packet.Packet{
+		Type: packet.Data, FlowID: f.ID,
+		Src: h.id, Dst: f.DstHost.id,
+		SrcPort: f.SrcPort, DstPort: f.DstPort,
+		Seq: f.sndNxt, PayloadBytes: payload,
+		Last:     f.sndNxt+int64(payload) >= f.SizeBytes,
+		Class:    f.Class,
+		SendTime: now,
+	}
+	f.sndNxt += int64(payload)
+
+	// Pace the next packet at the CC rate, clamped to the line rate.
+	rate := f.cc.RateBps()
+	if lr := h.port.RateBps(); rate > lr {
+		rate = lr
+	}
+	if rate < 1e6 {
+		rate = 1e6 // never stall completely: 1 Mbps floor
+	}
+	f.nextSendAt = now + sim.TxTime(pkt.SizeBytes(), rate)
+
+	if f.retxEv == nil {
+		h.armRetx(f)
+	}
+	h.port.enqueue(pkt)
+}
+
+// armPacer (re)schedules the host's single pacing wakeup.
+func (h *Host) armPacer(at sim.Time) {
+	if h.pacerEv != nil && !h.pacerEv.Canceled() && h.pacerEv.At() <= at && h.pacerEv.At() >= h.net.Eng.Now() {
+		return // an earlier-or-equal wakeup is already pending
+	}
+	if h.pacerEv != nil {
+		h.net.Eng.Cancel(h.pacerEv)
+	}
+	h.pacerEv = h.net.Eng.Schedule(at, func() {
+		h.pacerEv = nil
+		h.trySend()
+	})
+}
+
+// armRetx (re)arms the go-back-N backstop timer for f.
+func (h *Host) armRetx(f *Flow) {
+	cfg := &h.net.Cfg
+	if cfg.RetxTimeout <= 0 || f.finished {
+		return
+	}
+	if f.retxEv != nil {
+		h.net.Eng.Cancel(f.retxEv)
+	}
+	snap := f.sndUna
+	f.retxEv = h.net.Eng.After(cfg.RetxTimeout, func() {
+		f.retxEv = nil
+		if f.finished {
+			return
+		}
+		if f.sndUna == snap && f.Inflight() > 0 {
+			// No progress for a full RTO with data outstanding: rewind.
+			f.sndNxt = f.sndUna
+			h.trySend()
+		}
+		h.armRetx(f)
+	})
+}

@@ -1,0 +1,278 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Network owns the simulation: engine, configuration, scheme, nodes, flows
+// and fabric-wide counters. Build order is New -> NewHost/NewSwitch ->
+// Connect -> SetRoute -> AddFlow -> Run.
+type Network struct {
+	Eng *sim.Engine
+	// Rand is the fabric's deterministic random source (WRED marking);
+	// derived from Cfg.Seed.
+	Rand   *sim.RNG
+	Cfg    Config
+	Scheme Scheme
+
+	Hosts    []*Host
+	Switches []*Switch
+	flows    []*Flow
+
+	nextNodeID int32
+
+	// Drops counts data frames lost fabric-wide.
+	Drops metrics.Counter
+	// PauseFrames counts PAUSE frames sent fabric-wide (Fig 3).
+	PauseFrames metrics.Counter
+	// LongPauses counts pause episodes exceeding Cfg.PFCLongPause — the
+	// PFC-storm/deadlock risk signal of §2.3.
+	LongPauses metrics.Counter
+	// FCT collects completed flows (receiver-side completion).
+	FCT *metrics.FCTCollector
+
+	// OnFlowComplete, when set, observes each completion after FCT records
+	// it (harnesses hang per-figure logic here).
+	OnFlowComplete func(f *Flow, at sim.Time)
+
+	// Trace, when set, observes every frame transmission start and every
+	// drop fabric-wide (see internal/trace for recorders). Leave nil in
+	// performance-sensitive runs.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEventKind discriminates trace records.
+type TraceEventKind uint8
+
+// Trace record kinds.
+const (
+	// TraceTx is a frame beginning serialization on a port.
+	TraceTx TraceEventKind = iota
+	// TraceDrop is a data frame lost to buffer exhaustion.
+	TraceDrop
+)
+
+// TraceEvent is one observation delivered to Network.Trace.
+type TraceEvent struct {
+	Kind TraceEventKind
+	At   sim.Time
+	// Node and Port locate the event (Port is -1 for drops at ingress).
+	Node int32
+	Port int
+	// Packet summary (the packet itself is owned by the simulation).
+	Type   packet.Type
+	FlowID uint64
+	Seq    int64
+	Size   int
+}
+
+// New builds an empty network with the given configuration and scheme.
+func New(cfg Config, scheme Scheme) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scheme.NewSenderCC == nil || scheme.Receiver == nil {
+		return nil, fmt.Errorf("netsim: scheme %q missing sender or receiver", scheme.Name)
+	}
+	return &Network{
+		Eng:         sim.NewEngine(),
+		Rand:        sim.NewRNG(cfg.Seed),
+		Cfg:         cfg,
+		Scheme:      scheme,
+		Drops:       metrics.Counter{Name: "drops"},
+		PauseFrames: metrics.Counter{Name: "pause_frames"},
+		LongPauses:  metrics.Counter{Name: "long_pauses"},
+		FCT:         metrics.NewFCTCollector(),
+	}, nil
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(cfg Config, scheme Scheme) *Network {
+	n, err := New(cfg, scheme)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) allocID() int32 {
+	id := n.nextNodeID
+	n.nextNodeID++
+	return id
+}
+
+// NewHost adds a single-NIC end station.
+func (n *Network) NewHost() *Host {
+	h := &Host{
+		id:      n.allocID(),
+		net:     n,
+		byID:    make(map[uint64]*Flow),
+		inbound: make(map[uint64]*Flow),
+	}
+	h.port = newPort(h, 0, n)
+	h.port.onIdle = func(*Port) { h.trySend() }
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// NewSwitch adds a switch with the given port count, installing the
+// scheme's congestion-point hook.
+func (n *Network) NewSwitch(ports int) *Switch {
+	if ports < 1 {
+		panic("netsim: switch needs at least one port")
+	}
+	s := &Switch{
+		id:             n.allocID(),
+		net:            n,
+		routes:         make(map[int32][]int),
+		ingressBytes:   make([][]int64, ports),
+		upstreamPaused: make([][]bool, ports),
+	}
+	for i := range s.ingressBytes {
+		s.ingressBytes[i] = make([]int64, n.Cfg.PriorityLevels)
+		s.upstreamPaused[i] = make([]bool, n.Cfg.PriorityLevels)
+	}
+	s.ports = make([]*Port, ports)
+	for i := range s.ports {
+		s.ports[i] = newPort(s, i, n)
+		s.ports[i].onDequeue = s.onPortDequeue
+	}
+	if n.Scheme.NewSwitchHook != nil {
+		s.hook = n.Scheme.NewSwitchHook(s)
+	} else {
+		s.hook = NopHook{}
+	}
+	n.Switches = append(n.Switches, s)
+	return s
+}
+
+// Flows returns all flows added so far.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// AddFlow registers a transfer of size bytes from src to dst starting at
+// start. The flow's QP exists at both ends from start onward (the receiver
+// counts it in N from that moment, matching Observation 4's "the transport
+// layer at the receiver possesses the number of concurrencies").
+func (n *Network) AddFlow(id uint64, src, dst *Host, size int64, start sim.Time) *Flow {
+	if src == dst {
+		panic("netsim: flow with src == dst")
+	}
+	if size <= 0 {
+		panic("netsim: non-positive flow size")
+	}
+	f := &Flow{
+		ID: id, SrcHost: src, DstHost: dst,
+		// RoCEv2: UDP destination port 4791; source port varies per QP for
+		// ECMP entropy.
+		SrcPort:   uint16(49152 + id%16384),
+		DstPort:   4791,
+		SizeBytes: size,
+		Start:     start,
+	}
+	f.cc = n.Scheme.NewSenderCC(f)
+	if _, dup := src.byID[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate flow id %d at host %d", id, src.id))
+	}
+	src.byID[id] = f
+	n.flows = append(n.flows, f)
+	n.Eng.Schedule(start, func() {
+		dst.inbound[id] = f
+		dst.activeInbound++
+		if pacer, ok := n.Scheme.Receiver.(CreditPacer); ok {
+			pacer.OnInboundStart(f, dst)
+		}
+		src.startFlow(f)
+	})
+	return f
+}
+
+// flowCompleted records receiver-side completion.
+func (n *Network) flowCompleted(f *Flow, at sim.Time) {
+	n.FCT.Record(metrics.FCTRecord{
+		FlowID:    f.ID,
+		SizeBytes: f.SizeBytes,
+		Start:     f.Start,
+		Finish:    at,
+		Ideal:     f.IdealFCT,
+	})
+	if n.OnFlowComplete != nil {
+		n.OnFlowComplete(f, at)
+	}
+}
+
+// RunUntil drives the simulation to the given time.
+func (n *Network) RunUntil(t sim.Time) { n.Eng.RunUntil(t) }
+
+// DeadlockSuspect identifies a port-class paused beyond the watchdog
+// threshold at inspection time.
+type DeadlockSuspect struct {
+	Node      int32
+	Port      int
+	Class     int
+	PausedFor sim.Time
+}
+
+// DeadlockSuspects scans all ports for classes continuously paused longer
+// than Cfg.PFCLongPause right now. A non-empty result after traffic should
+// have drained indicates a cyclic buffer dependency — the PFC deadlock the
+// paper's §2.3 warns about (and spanning-tree routing, Observation 2,
+// prevents).
+func (n *Network) DeadlockSuspects() []DeadlockSuspect {
+	th := n.Cfg.PFCLongPause
+	if th <= 0 {
+		return nil
+	}
+	now := n.Eng.Now()
+	var out []DeadlockSuspect
+	scan := func(node Node) {
+		for i := 0; i < node.NumPorts(); i++ {
+			p := node.PortAt(i)
+			for c := 0; c < n.Cfg.PriorityLevels; c++ {
+				if d := p.PausedFor(c, now); d >= th {
+					out = append(out, DeadlockSuspect{
+						Node: node.ID(), Port: i, Class: c, PausedFor: d,
+					})
+				}
+			}
+		}
+	}
+	for _, h := range n.Hosts {
+		scan(h)
+	}
+	for _, s := range n.Switches {
+		scan(s)
+	}
+	return out
+}
+
+// AllDone reports whether every added flow has completed at the receiver.
+func (n *Network) AllDone() bool {
+	for _, f := range n.flows {
+		if !f.rcvDone {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToCompletion alternates event processing with completion checks until
+// all flows finish or the hard deadline passes; it returns true on full
+// completion. Used by FCT experiments, which must drain the tail.
+func (n *Network) RunToCompletion(deadline sim.Time) bool {
+	const slice = 100 * sim.Microsecond
+	for n.Eng.Now() < deadline {
+		next := n.Eng.Now() + slice
+		if next > deadline {
+			next = deadline
+		}
+		n.Eng.RunUntil(next)
+		if n.AllDone() {
+			return true
+		}
+	}
+	return n.AllDone()
+}

@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Pacing correctness: property tests on inter-departure spacing.
+
+// TestQuickPacingRespectsRate: for random sub-line pacing rates, the gap
+// between consecutive data departures of a single flow is never below the
+// rate's serialization interval (within one engine event of slack).
+func TestQuickPacingRespectsRate(t *testing.T) {
+	f := func(r uint8) bool {
+		// Rates between 10G and 90G.
+		rate := int64(10e9) + int64(r)%8*int64(10e9)
+		cfg := DefaultConfig()
+		n := MustNew(cfg, Scheme{
+			Name:        "paced",
+			NewSenderCC: func(*Flow) SenderCC { return &fixedCC{rate: rate, window: 1 << 40} },
+			Receiver:    echoReceiver{},
+		})
+		h0, h1 := n.NewHost(), n.NewHost()
+		Connect(h0.Port(), h1.Port(), gbps100, prop)
+		n.AddFlow(1, h0, h1, 40*1452, 0)
+
+		minGap := sim.TxTime(1518, rate)
+		var last sim.Time = -1
+		ok := true
+		n.Trace = func(ev TraceEvent) {
+			if ev.Type != packet.Data || ev.Node != h0.ID() {
+				return
+			}
+			if last >= 0 && ev.At-last < minGap {
+				ok = false
+			}
+			last = ev.At
+		}
+		n.RunUntil(10 * sim.Millisecond)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPacingRateChangeTakesEffect: halving the CC rate mid-flow stretches
+// subsequent departures.
+func TestPacingRateChangeTakesEffect(t *testing.T) {
+	cc := &fixedCC{rate: gbps100, window: 1 << 40}
+	n := MustNew(DefaultConfig(), Scheme{
+		Name:        "switchable",
+		NewSenderCC: func(*Flow) SenderCC { return cc },
+		Receiver:    echoReceiver{},
+	})
+	h0, h1 := n.NewHost(), n.NewHost()
+	Connect(h0.Port(), h1.Port(), gbps100, prop)
+	n.AddFlow(1, h0, h1, 1<<20, 0)
+
+	var gaps []sim.Time
+	var last sim.Time = -1
+	n.Trace = func(ev TraceEvent) {
+		if ev.Type != packet.Data {
+			return
+		}
+		if last >= 0 {
+			gaps = append(gaps, ev.At-last)
+		}
+		last = ev.At
+	}
+	n.Eng.Schedule(20*sim.Microsecond, func() { cc.rate = gbps100 / 4 })
+	n.RunUntil(60 * sim.Microsecond)
+
+	if len(gaps) < 20 {
+		t.Fatalf("only %d departures", len(gaps))
+	}
+	early, late := gaps[2], gaps[len(gaps)-1]
+	if late < 3*early {
+		t.Fatalf("rate cut did not stretch departures: early %v late %v", early, late)
+	}
+}

@@ -1,0 +1,252 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Port is one transmit/receive attachment point of a Node. Each port owns
+// one egress FIFO per priority class (virtual lane) plus a control lane for
+// PFC frames (link-local, highest priority, immune to pausing). Classes are
+// scheduled strict-priority — class 0 first — and PFC pauses each class
+// independently (802.1Qbb). With the paper's single service level this
+// degenerates to one FIFO.
+//
+// Transmission is store-and-forward: a frame occupies the transmitter for
+// its serialization time, then arrives at the peer after the link's
+// propagation delay.
+type Port struct {
+	owner Node
+	index int
+	net   *Network
+
+	// Link endpoint.
+	peer  *Port
+	rate  int64    // bps
+	delay sim.Time // propagation
+
+	// Egress state, per priority class.
+	queues      [][]*packet.Packet
+	classBytes  []int64
+	paused      []bool
+	pausedSince []sim.Time // valid while paused[class]
+	queueBytes  int64      // total across classes
+	control    []*packet.Packet // PFC frames, transmitted first, never paused
+	busy       bool
+
+	// Telemetry, readable by INT hooks.
+	txBytes     uint64 // cumulative bytes that completed serialization
+	txDataBytes uint64 // cumulative data-only bytes (utilization accounting)
+
+	// onDequeue lets the owning node update shared-buffer/PFC accounting
+	// the moment a frame starts serializing.
+	onDequeue func(p *Port, pkt *packet.Packet)
+	// onIdle fires when the transmitter finishes a frame and finds nothing
+	// eligible to send; hosts use it to pull the next paced packet.
+	onIdle func(p *Port)
+}
+
+// newPort constructs a port with the network's configured class count.
+func newPort(owner Node, index int, net *Network) *Port {
+	n := net.Cfg.PriorityLevels
+	return &Port{
+		owner: owner, index: index, net: net,
+		queues:      make([][]*packet.Packet, n),
+		classBytes:  make([]int64, n),
+		paused:      make([]bool, n),
+		pausedSince: make([]sim.Time, n),
+	}
+}
+
+// Owner returns the node this port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Index returns the port number on its owner.
+func (p *Port) Index() int { return p.index }
+
+// Peer returns the port at the far end of the link (nil if unwired).
+func (p *Port) Peer() *Port { return p.peer }
+
+// RateBps returns the link rate.
+func (p *Port) RateBps() int64 { return p.rate }
+
+// PropDelay returns the link's one-way propagation delay.
+func (p *Port) PropDelay() sim.Time { return p.delay }
+
+// QueueBytes returns total egress occupancy across classes (excludes the
+// frame currently serializing — it has left the buffer).
+func (p *Port) QueueBytes() int64 { return p.queueBytes }
+
+// ClassQueueBytes returns one class's egress occupancy.
+func (p *Port) ClassQueueBytes(class int) int64 { return p.classBytes[class] }
+
+// QueueFrames returns the number of queued frames across classes.
+func (p *Port) QueueFrames() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// TxBytes returns cumulative bytes transmitted (all frame types).
+func (p *Port) TxBytes() uint64 { return p.txBytes }
+
+// TxDataBytes returns cumulative data bytes transmitted.
+func (p *Port) TxDataBytes() uint64 { return p.txDataBytes }
+
+// Paused reports the PFC pause state of class 0 (the only class in
+// single-SL configurations).
+func (p *Port) Paused() bool { return p.paused[0] }
+
+// ClassPaused reports one class's pause state.
+func (p *Port) ClassPaused(class int) bool { return p.paused[class] }
+
+// Connect wires two ports with a full-duplex link of the given rate and
+// propagation delay. Both directions share the parameters, as in the paper
+// (all links 100/200/400 Gbps with 1.5 us delay).
+func Connect(a, b *Port, rateBps int64, delay sim.Time) {
+	if a.peer != nil || b.peer != nil {
+		panic(fmt.Sprintf("netsim: port already wired (%d/%d <-> %d/%d)",
+			a.owner.ID(), a.index, b.owner.ID(), b.index))
+	}
+	if rateBps <= 0 {
+		panic("netsim: non-positive link rate")
+	}
+	if delay < 0 {
+		panic("netsim: negative propagation delay")
+	}
+	a.peer, b.peer = b, a
+	a.rate, b.rate = rateBps, rateBps
+	a.delay, b.delay = delay, delay
+}
+
+// class returns the frame's priority, clamped to the configured levels
+// (frames from a misconfigured class land in the lowest priority rather
+// than corrupting memory).
+func (p *Port) class(pkt *packet.Packet) int {
+	c := int(pkt.Class)
+	if c >= len(p.queues) {
+		c = len(p.queues) - 1
+	}
+	return c
+}
+
+// enqueue appends a frame to the appropriate egress lane and starts the
+// transmitter if idle.
+func (p *Port) enqueue(pkt *packet.Packet) {
+	if p.peer == nil {
+		panic(fmt.Sprintf("netsim: enqueue on unwired port %d/%d", p.owner.ID(), p.index))
+	}
+	if pkt.Type.IsControl() {
+		p.control = append(p.control, pkt)
+	} else {
+		c := p.class(pkt)
+		p.queues[c] = append(p.queues[c], pkt)
+		size := int64(pkt.SizeBytes())
+		p.classBytes[c] += size
+		p.queueBytes += size
+	}
+	p.kick()
+}
+
+// setClassPaused updates one class's PFC state, feeds the long-pause
+// watchdog, and restarts transmission on release.
+func (p *Port) setClassPaused(class int, v bool) {
+	if class >= len(p.paused) {
+		class = len(p.paused) - 1
+	}
+	was := p.paused[class]
+	p.paused[class] = v
+	now := p.net.Eng.Now()
+	switch {
+	case v && !was:
+		p.pausedSince[class] = now
+	case !v && was:
+		if th := p.net.Cfg.PFCLongPause; th > 0 && now-p.pausedSince[class] >= th {
+			p.net.LongPauses.Inc()
+		}
+	}
+	if !v {
+		p.kick()
+		if !p.busy && p.onIdle != nil {
+			p.onIdle(p)
+		}
+	}
+}
+
+// PausedFor returns how long the class has been continuously paused
+// (0 if not paused).
+func (p *Port) PausedFor(class int, now sim.Time) sim.Time {
+	if !p.paused[class] {
+		return 0
+	}
+	return now - p.pausedSince[class]
+}
+
+// next pops the highest-priority eligible frame, or nil.
+func (p *Port) next() *packet.Packet {
+	if len(p.control) > 0 {
+		pkt := p.control[0]
+		copy(p.control, p.control[1:])
+		p.control = p.control[:len(p.control)-1]
+		return pkt
+	}
+	for c := range p.queues {
+		if p.paused[c] || len(p.queues[c]) == 0 {
+			continue
+		}
+		pkt := p.queues[c][0]
+		copy(p.queues[c], p.queues[c][1:])
+		p.queues[c] = p.queues[c][:len(p.queues[c])-1]
+		size := int64(pkt.SizeBytes())
+		p.classBytes[c] -= size
+		p.queueBytes -= size
+		return pkt
+	}
+	return nil
+}
+
+// kick starts serializing the next eligible frame if the port is idle.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.next()
+	if pkt == nil {
+		return
+	}
+
+	p.busy = true
+	if p.onDequeue != nil {
+		p.onDequeue(p, pkt)
+	}
+	if p.net.Trace != nil {
+		p.net.Trace(TraceEvent{
+			Kind: TraceTx, At: p.net.Eng.Now(),
+			Node: p.owner.ID(), Port: p.index,
+			Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+		})
+	}
+
+	size := pkt.SizeBytes()
+	txd := sim.TxTime(size, p.rate)
+	eng := p.net.Eng
+	eng.After(txd, func() {
+		p.busy = false
+		p.txBytes += uint64(size)
+		if pkt.Type == packet.Data {
+			p.txDataBytes += uint64(size)
+		}
+		peer := p.peer
+		eng.After(p.delay, func() {
+			peer.owner.Receive(pkt, peer.index)
+		})
+		p.kick()
+		if !p.busy && p.onIdle != nil {
+			p.onIdle(p)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Tests for the multi-service-level extension (strict-priority virtual
+// lanes with per-class PFC), which the paper elides "for clarity of
+// description" (§3.2.1).
+
+func multiClassPair(t *testing.T, levels int) (*Network, *Host, *Host) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PriorityLevels = levels
+	return directPair(t, cfg, fixedScheme(gbps100), gbps100)
+}
+
+func TestPriorityLevelsValidation(t *testing.T) {
+	for _, lv := range []int{0, -1, 9} {
+		cfg := DefaultConfig()
+		cfg.PriorityLevels = lv
+		if _, err := New(cfg, fixedScheme(gbps100)); err == nil {
+			t.Errorf("levels=%d accepted", lv)
+		}
+	}
+}
+
+func TestStrictPriorityScheduling(t *testing.T) {
+	// Saturate a switch egress with class-1 traffic, then start a class-0
+	// flow: the high-priority flow must see near-line service while the
+	// low-priority flow is starved to the leftovers.
+	cfg := DefaultConfig()
+	cfg.PriorityLevels = 2
+	cfg.PFCEnabled = false
+	n, senders, recv, _ := chain(t, cfg, fixedScheme(gbps100), 2, 3, gbps100)
+
+	lo := n.AddFlow(1, senders[0], recv, 4_000_000, 0)
+	lo.Class = 1
+	hi := n.AddFlow(2, senders[1], recv, 1_000_000, 50*sim.Microsecond)
+	hi.Class = 0
+
+	n.RunUntil(300 * sim.Microsecond)
+	// By 300us the 1MB class-0 flow (80us at line rate, starting at 50us)
+	// must be done; the class-1 elephant must not be.
+	if !hi.Done() {
+		t.Fatalf("high-priority flow starved: rcvNxt=%d", hi.RcvNxt())
+	}
+	if lo.Done() {
+		t.Fatal("low-priority elephant finished implausibly early")
+	}
+	n.RunUntil(5 * sim.Millisecond)
+	if !lo.Done() {
+		t.Fatal("low-priority flow never completed after contention cleared")
+	}
+}
+
+func TestPerClassPFCPausesOnlyThatClass(t *testing.T) {
+	// Two classes share the bottleneck; a tight PFC threshold pauses the
+	// overloading class at the upstream. The other class must keep
+	// flowing: its completion cannot wait for the paused class's drain.
+	cfg := DefaultConfig()
+	cfg.PriorityLevels = 2
+	cfg.PFCPauseBytes = 30_000
+	cfg.PFCResumeBytes = 20_000
+	n, senders, recv, sws := chain(t, cfg, fixedScheme(gbps100), 2, 3, gbps100)
+
+	bulk := n.AddFlow(1, senders[0], recv, 3_000_000, 0)
+	bulk.Class = 1
+	urgent := n.AddFlow(2, senders[1], recv, 500_000, 0)
+	urgent.Class = 0
+
+	n.RunUntil(10 * sim.Millisecond)
+	if !bulk.Done() || !urgent.Done() {
+		t.Fatal("flows incomplete")
+	}
+	if n.PauseFrames.N == 0 {
+		t.Fatal("no pauses under 2:1 overload with tight threshold")
+	}
+	// Completion order: the urgent class-0 flow (500KB) must have beaten
+	// the bulk class-1 flow (3MB) decisively.
+	if urgent.FinishedAt >= bulk.FinishedAt {
+		t.Fatalf("urgent finished at %v, after bulk at %v", urgent.FinishedAt, bulk.FinishedAt)
+	}
+	_ = sws
+}
+
+func TestClassClampOnOutOfRange(t *testing.T) {
+	// A frame with Class beyond the configured levels lands in the lowest
+	// lane instead of panicking.
+	n, h0, h1 := multiClassPair(t, 2)
+	f := n.AddFlow(1, h0, h1, 10_000, 0)
+	f.Class = 7 // clamped to 1
+	n.RunUntil(sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("out-of-range class flow incomplete")
+	}
+}
+
+func TestAcksInheritFlowClass(t *testing.T) {
+	n, h0, h1 := multiClassPair(t, 4)
+	f := n.AddFlow(1, h0, h1, 10_000, 0)
+	f.Class = 2
+	var ackClass uint8 = 255
+	n.Trace = func(ev TraceEvent) {
+		if ev.Type == packet.Ack && ev.Node == h1.ID() {
+			// Trace doesn't carry class; sniff via a receiver-side check
+			// below instead.
+			_ = ev
+		}
+	}
+	// Direct check: generated ACKs carry the flow's class.
+	probe := &classSniffCC{}
+	sch := Scheme{
+		Name: "sniff",
+		NewSenderCC: func(*Flow) SenderCC {
+			probe.fixedCC = fixedCC{rate: gbps100, window: 1 << 40}
+			return probe
+		},
+		Receiver: echoReceiver{},
+	}
+	cfg := DefaultConfig()
+	cfg.PriorityLevels = 4
+	n2, a, b := directPair(t, cfg, sch, gbps100)
+	f2 := n2.AddFlow(1, a, b, 10_000, 0)
+	f2.Class = 2
+	n2.RunUntil(sim.Millisecond)
+	if probe.lastClass != 2 {
+		t.Fatalf("ACK class = %d, want 2", probe.lastClass)
+	}
+	_ = f
+	_ = ackClass
+}
+
+type classSniffCC struct {
+	fixedCC
+	lastClass uint8
+}
+
+func (c *classSniffCC) OnAck(f *Flow, ack *packet.Packet, now sim.Time) {
+	c.lastClass = ack.Class
+}
+
+func TestSingleClassUnchangedTiming(t *testing.T) {
+	// Regression guard: with PriorityLevels=1 the class machinery must not
+	// perturb the exact single-flow timing established before the rework.
+	cfg := DefaultConfig()
+	n, h0, h1 := directPair(t, cfg, fixedScheme(gbps100), gbps100)
+	size := int64(2 * cfg.PayloadBytes())
+	f := n.AddFlow(1, h0, h1, size, 0)
+	n.RunUntil(sim.Millisecond)
+	want := 2*sim.TxTime(1518, gbps100) + prop
+	if f.FinishedAt != want {
+		t.Fatalf("FinishedAt = %v want %v", f.FinishedAt, want)
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Per-packet spraying ablation (§6's critique of packet-spraying schemes:
+// reordering needs "more robust support in RDMA networks").
+
+// sprayDiamond builds h0 - swL = {m0|m1} = swR - h1 with *unequal* middle
+// path delays so spraying actually reorders packets.
+func sprayDiamond(t *testing.T, cfg Config) (*Network, *Host, *Host) {
+	t.Helper()
+	n := MustNew(cfg, fixedScheme(gbps100))
+	h0, h1 := n.NewHost(), n.NewHost()
+	swL, swR := n.NewSwitch(3), n.NewSwitch(3)
+	m0, m1 := n.NewSwitch(2), n.NewSwitch(2)
+	Connect(h0.Port(), swL.PortAt(0), gbps100, prop)
+	Connect(h1.Port(), swR.PortAt(0), gbps100, prop)
+	Connect(swL.PortAt(1), m0.PortAt(0), gbps100, prop)
+	Connect(swL.PortAt(2), m1.PortAt(0), gbps100, 4*prop) // slow path
+	Connect(m0.PortAt(1), swR.PortAt(1), gbps100, prop)
+	Connect(m1.PortAt(1), swR.PortAt(2), gbps100, 4*prop)
+	swL.SetRoute(h1.ID(), 1, 2)
+	swL.SetRoute(h0.ID(), 0)
+	swR.SetRoute(h0.ID(), 1, 2)
+	swR.SetRoute(h1.ID(), 0)
+	for _, m := range []*Switch{m0, m1} {
+		m.SetRoute(h1.ID(), 1)
+		m.SetRoute(h0.ID(), 0)
+	}
+	return n, h0, h1
+}
+
+func TestSprayingReordersButRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PacketSpraying = true
+	cfg.NackMinGap = sim.Microsecond
+	n, h0, h1 := sprayDiamond(t, cfg)
+
+	// Count NACK transmissions (go-back-N kicking in on reorder).
+	var nacks int
+	n.Trace = func(ev TraceEvent) {
+		if ev.Type == packet.Nack {
+			nacks++
+		}
+	}
+	f := n.AddFlow(1, h0, h1, 500_000, 0)
+	n.RunUntil(50 * sim.Millisecond)
+
+	if !f.Done() {
+		t.Fatal("sprayed flow never completed (GBN failed to recover)")
+	}
+	if nacks == 0 {
+		t.Fatal("unequal-delay spraying produced no reordering NACKs")
+	}
+}
+
+func TestNoSprayingNoReorder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PacketSpraying = false
+	n, h0, h1 := sprayDiamond(t, cfg)
+	var nacks int
+	n.Trace = func(ev TraceEvent) {
+		if ev.Type == packet.Nack {
+			nacks++
+		}
+	}
+	f := n.AddFlow(1, h0, h1, 500_000, 0)
+	n.RunUntil(50 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if nacks != 0 {
+		t.Fatalf("per-flow hashing produced %d NACKs", nacks)
+	}
+}
+
+func TestSprayingWastesRetransmissions(t *testing.T) {
+	// The §6 point, quantified. On an unloaded diamond spraying can even
+	// finish sooner (it harvests both paths), but it pays in go-back-N
+	// retransmissions: the sender must emit strictly more wire bytes than
+	// the transfer needs, while pinned paths emit exactly the minimum.
+	run := func(spray bool) (sent uint64, need uint64) {
+		cfg := DefaultConfig()
+		cfg.PacketSpraying = spray
+		cfg.NackMinGap = sim.Microsecond
+		n, h0, h1 := sprayDiamond(t, cfg)
+		size := int64(500_000)
+		f := n.AddFlow(1, h0, h1, size, 0)
+		n.RunUntil(100 * sim.Millisecond)
+		if !f.Done() {
+			t.Fatal("incomplete")
+		}
+		payload := int64(cfg.PayloadBytes())
+		nPkts := (size + payload - 1) / payload
+		return h0.Port().TxDataBytes(), uint64(size + nPkts*66)
+	}
+	sprayedSent, need := run(true)
+	pinnedSent, _ := run(false)
+	if pinnedSent != need {
+		t.Fatalf("pinned paths retransmitted: sent %d, need %d", pinnedSent, need)
+	}
+	if sprayedSent <= need {
+		t.Fatalf("spraying sent %d <= minimum %d — no reorder waste?", sprayedSent, need)
+	}
+}

@@ -1,0 +1,207 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Switch is an output-queued, store-and-forward Ethernet switch with a
+// shared packet buffer, ECMP routing, PFC, and a pluggable congestion-point
+// hook (Fig 8's architecture: parser -> ingress pipeline -> fabric -> egress
+// pipeline with INT insertion).
+type Switch struct {
+	id    int32
+	net   *Network
+	ports []*Port
+	hook  SwitchHook
+
+	// routes maps destination host ID to the equal-cost egress port set.
+	routes map[int32][]int
+
+	// Shared-buffer occupancy across all egress queues (data frames only).
+	buffered int64
+
+	// PFC state, per ingress port and priority class: bytes resident in the
+	// shared buffer that entered through the (port, class), and whether we
+	// have paused that class at its upstream.
+	ingressBytes   [][]int64
+	upstreamPaused [][]bool
+
+	// PauseFrames counts PAUSE frames *sent by this switch* (Fig 3's
+	// "pause frames at the congestion point").
+	PauseFrames int64
+	// ResumeFrames counts RESUME frames sent.
+	ResumeFrames int64
+	// Drops counts data frames lost to shared-buffer exhaustion.
+	Drops int64
+}
+
+// ID implements Node.
+func (s *Switch) ID() int32 { return s.id }
+
+// NumPorts implements Node.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// PortAt implements Node.
+func (s *Switch) PortAt(i int) *Port { return s.ports[i] }
+
+// Net returns the owning network (hooks use it for the engine and config).
+func (s *Switch) Net() *Network { return s.net }
+
+// Hook returns the installed congestion-point hook.
+func (s *Switch) Hook() SwitchHook { return s.hook }
+
+// BufferedBytes returns current shared-buffer occupancy.
+func (s *Switch) BufferedBytes() int64 { return s.buffered }
+
+// SetRoute installs the equal-cost egress port set toward a destination
+// host. The topology builder calls this while wiring the fabric.
+func (s *Switch) SetRoute(dst int32, ports ...int) {
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("netsim: switch %d: empty route to %d", s.id, dst))
+	}
+	for _, p := range ports {
+		if p < 0 || p >= len(s.ports) {
+			panic(fmt.Sprintf("netsim: switch %d: route port %d out of range", s.id, p))
+		}
+	}
+	s.routes[dst] = append([]int(nil), ports...)
+}
+
+// RouteTo returns the port the switch selects for pkt, applying ECMP
+// hashing over the configured equal-cost set (Fig 5: with symmetric hashing
+// and symmetric tables, a data packet and its ACK pick the same links).
+func (s *Switch) RouteTo(pkt *packet.Packet) (int, error) {
+	set, ok := s.routes[pkt.Dst]
+	if !ok {
+		return 0, fmt.Errorf("netsim: switch %d has no route to host %d", s.id, pkt.Dst)
+	}
+	if len(set) == 1 {
+		return set[0], nil
+	}
+	var h uint64
+	if s.net.Cfg.SymmetricECMP {
+		h = packet.SymmetricHash(pkt.Tuple())
+	} else {
+		h = packet.AsymmetricHash(pkt.Tuple())
+	}
+	if s.net.Cfg.PacketSpraying {
+		// Per-packet load balancing: fold the sequence number in so each
+		// frame re-rolls its next hop.
+		h ^= packet.Mix64(uint64(pkt.Seq) + 0x9e3779b97f4a7c15)
+	}
+	return set[h%uint64(len(set))], nil
+}
+
+// Receive implements Node: the switch's ingress engine (Algorithm 1 lines
+// 1-5) plus forwarding and buffer/PFC bookkeeping.
+func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
+	switch pkt.Type {
+	case packet.PfcPause:
+		s.ports[inPort].setClassPaused(int(pkt.PauseClass), true)
+		return
+	case packet.PfcResume:
+		s.ports[inPort].setClassPaused(int(pkt.PauseClass), false)
+		return
+	}
+
+	// Algorithm 1 line 3: record the arrival port in packet metadata. For
+	// ACKs this is, by Observation 3, the egress port of the corresponding
+	// request-path data — the index FNCC's egress engine uses for its
+	// All_INT_Table lookup.
+	pkt.InputPort = int32(inPort)
+
+	outPort, err := s.RouteTo(pkt)
+	if err != nil {
+		panic(err) // static topologies: a missing route is a builder bug
+	}
+
+	size := int64(pkt.SizeBytes())
+	if pkt.Type == packet.Data {
+		if s.buffered+size > s.net.Cfg.SharedBufferBytes {
+			s.Drops++
+			s.net.Drops.Inc()
+			if s.net.Trace != nil {
+				s.net.Trace(TraceEvent{
+					Kind: TraceDrop, At: s.net.Eng.Now(),
+					Node: s.id, Port: -1,
+					Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+				})
+			}
+			return
+		}
+		s.buffered += size
+		if s.net.Cfg.PFCEnabled {
+			class := s.clampClass(int(pkt.Class))
+			s.ingressBytes[inPort][class] += size
+			s.checkPause(inPort, class)
+		}
+	}
+
+	s.ports[outPort].enqueue(pkt)
+	if pkt.Type == packet.Data {
+		s.hook.OnEnqueue(s, pkt, outPort)
+	}
+}
+
+// onPortDequeue runs when a frame starts serializing on an egress port:
+// releases shared buffer, updates PFC accounting, then lets the hook stamp
+// telemetry (Algorithm 1 lines 6-10 for FNCC; HPCC stamps data instead).
+func (s *Switch) onPortDequeue(p *Port, pkt *packet.Packet) {
+	if pkt.Type == packet.Data {
+		s.buffered -= int64(pkt.SizeBytes())
+		if s.net.Cfg.PFCEnabled {
+			in := int(pkt.InputPort)
+			class := s.clampClass(int(pkt.Class))
+			s.ingressBytes[in][class] -= int64(pkt.SizeBytes())
+			s.checkResume(in, class)
+		}
+	}
+	s.hook.OnDequeue(s, pkt, p.index)
+}
+
+func (s *Switch) clampClass(c int) int {
+	if max := s.net.Cfg.PriorityLevels; c >= max {
+		return max - 1
+	}
+	return c
+}
+
+// checkPause sends a per-class PAUSE to inPort's upstream when that
+// class's buffer share crosses the threshold.
+func (s *Switch) checkPause(inPort, class int) {
+	if s.upstreamPaused[inPort][class] || s.ingressBytes[inPort][class] < s.net.Cfg.PFCPauseBytes {
+		return
+	}
+	s.upstreamPaused[inPort][class] = true
+	s.PauseFrames++
+	s.net.PauseFrames.Inc()
+	s.ports[inPort].enqueue(&packet.Packet{Type: packet.PfcPause, PauseClass: uint8(class)})
+}
+
+// checkResume releases the upstream class once occupancy falls to the
+// hysteresis level.
+func (s *Switch) checkResume(inPort, class int) {
+	if !s.upstreamPaused[inPort][class] || s.ingressBytes[inPort][class] > s.net.Cfg.PFCResumeBytes {
+		return
+	}
+	s.upstreamPaused[inPort][class] = false
+	s.ResumeFrames++
+	s.ports[inPort].enqueue(&packet.Packet{Type: packet.PfcResume, PauseClass: uint8(class)})
+}
+
+// PortINT captures the live INT record of an egress port — the
+// {B, TS, txBytes, qLen} tuple both HPCC (stamped on data) and FNCC (stored
+// in the All_INT_Table and stamped on ACKs) use.
+func (s *Switch) PortINT(port int) packet.IntHop {
+	p := s.ports[port]
+	return packet.IntHop{
+		SwitchID: s.id,
+		PortID:   int32(port),
+		B:        p.RateBps(),
+		TS:       s.net.Eng.Now(),
+		TxBytes:  p.TxBytes(),
+		QLen:     uint32(p.QueueBytes()),
+	}
+}

@@ -1,0 +1,128 @@
+package packet
+
+// Wire encoding of INT hop records (Fig 7).
+//
+// On the wire one hop record is 64 bits: a 4-bit bandwidth code, a 24-bit
+// timestamp, a 20-bit txBytes counter and a 16-bit queue length — all but
+// the bandwidth code wrapping. The simulator carries unwrapped values in
+// IntHop for convenience; this file provides the faithful bit-level
+// encoding plus the delta arithmetic an RP implementation performs on
+// wrapped counters, and is exercised by the tests to show the narrow
+// fields lose nothing the algorithm needs.
+//
+// Units were chosen to the paper's bit budget at data-center scales:
+//
+//   - B: 4-bit code indexing a rate table (25G..1.6T covers the roadmap).
+//   - TS: 24 bits of nanoseconds -> wraps every ~16.8 ms, far longer than
+//     any RTT, so deltas between consecutive ACKs are unambiguous.
+//   - txBytes: 20 bits of 64-byte units -> wraps every 64 MB; at 400 Gbps
+//     that is ~1.3 ms, again far beyond an ACK interval.
+//   - qLen: 16 bits of 64-byte units -> saturates at ~4.2 MB, matching
+//     shared-buffer scales; deeper queues clamp.
+
+import "fmt"
+
+// Field widths and unit scales of the Fig 7 layout.
+const (
+	wireTSBits      = 24
+	wireTxBits      = 20
+	wireQLenBits    = 16
+	wireTxUnitBytes = 64
+	wireQUnitBytes  = 64
+
+	tsWrap = 1 << wireTSBits
+	txWrap = 1 << wireTxBits
+	qMax   = 1<<wireQLenBits - 1
+)
+
+// rateTable is the 4-bit bandwidth code space (bps). Index 0 is reserved
+// for "unknown".
+var rateTable = []int64{
+	0,
+	10e9, 25e9, 40e9, 50e9, 100e9, 200e9, 400e9, 800e9, 1600e9,
+}
+
+// EncodeRate returns the 4-bit code for a link rate, or an error for rates
+// outside the table (hardware would be provisioned with its own table).
+func EncodeRate(bps int64) (uint8, error) {
+	for i, r := range rateTable {
+		if r == bps {
+			return uint8(i), nil
+		}
+	}
+	return 0, fmt.Errorf("packet: rate %d bps not in 4-bit code table", bps)
+}
+
+// DecodeRate inverts EncodeRate. Code 0 decodes to 0 ("unknown").
+func DecodeRate(code uint8) (int64, error) {
+	if int(code) >= len(rateTable) {
+		return 0, fmt.Errorf("packet: rate code %d out of table", code)
+	}
+	return rateTable[code], nil
+}
+
+// WireHop is the packed 64-bit representation of one INT record.
+type WireHop uint64
+
+// EncodeHop packs an IntHop into the Fig 7 bit layout. Timestamp and
+// txBytes wrap; qLen saturates. Encoding fails only for rates outside the
+// code table.
+func EncodeHop(h IntHop) (WireHop, error) {
+	code, err := EncodeRate(h.B)
+	if err != nil {
+		return 0, err
+	}
+	tsNs := uint64(h.TS/1000) % tsWrap            // ps -> ns, wrapped
+	tx := (h.TxBytes / wireTxUnitBytes) % txWrap  // 64B units, wrapped
+	q := uint64(h.QLen) / wireQUnitBytes          // 64B units, saturated
+	if q > qMax {
+		q = qMax
+	}
+	w := uint64(code)&0xf |
+		tsNs<<4 |
+		tx<<(4+wireTSBits) |
+		q<<(4+wireTSBits+wireTxBits)
+	return WireHop(w), nil
+}
+
+// DecodedHop is the unpacked view of a WireHop: wrapped fields in their
+// wire units. It deliberately does not pretend to be an IntHop — absolute
+// values are unrecoverable; only deltas are meaningful.
+type DecodedHop struct {
+	// B is the decoded link rate in bps.
+	B int64
+	// TSNs is the wrapped 24-bit timestamp in nanoseconds.
+	TSNs uint32
+	// TxUnits is the wrapped 20-bit transmitted count in 64-byte units.
+	TxUnits uint32
+	// QLenBytes is the saturating queue length in bytes.
+	QLenBytes uint32
+}
+
+// DecodeHop unpacks a WireHop.
+func DecodeHop(w WireHop) (DecodedHop, error) {
+	code := uint8(w & 0xf)
+	b, err := DecodeRate(code)
+	if err != nil {
+		return DecodedHop{}, err
+	}
+	return DecodedHop{
+		B:         b,
+		TSNs:      uint32((w >> 4) & (tsWrap - 1)),
+		TxUnits:   uint32((w >> (4 + wireTSBits)) & (txWrap - 1)),
+		QLenBytes: uint32((w>>(4+wireTSBits+wireTxBits))&qMax) * wireQUnitBytes,
+	}, nil
+}
+
+// TSDeltaNs reconstructs the elapsed nanoseconds between two wrapped
+// timestamps, assuming the true gap is under one wrap period (~16.8 ms —
+// guaranteed between consecutive ACKs of a live flow).
+func TSDeltaNs(prev, cur uint32) uint32 {
+	return (cur - prev) & (tsWrap - 1)
+}
+
+// TxDeltaBytes reconstructs the bytes transmitted between two wrapped
+// txBytes samples (true delta under one wrap, 64 MB).
+func TxDeltaBytes(prev, cur uint32) uint64 {
+	return uint64((cur-prev)&(txWrap-1)) * wireTxUnitBytes
+}

@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRateCodeRoundtrip(t *testing.T) {
+	for _, bps := range []int64{10e9, 25e9, 100e9, 200e9, 400e9, 1600e9} {
+		code, err := EncodeRate(bps)
+		if err != nil {
+			t.Fatalf("encode %d: %v", bps, err)
+		}
+		got, err := DecodeRate(code)
+		if err != nil || got != bps {
+			t.Fatalf("roundtrip %d -> %d (%v)", bps, got, err)
+		}
+	}
+	if _, err := EncodeRate(123); err == nil {
+		t.Fatal("off-table rate encoded")
+	}
+	if _, err := DecodeRate(15); err == nil {
+		t.Fatal("out-of-table code decoded")
+	}
+}
+
+func TestEncodeHopRoundtrip(t *testing.T) {
+	h := IntHop{
+		B:       100e9,
+		TS:      5 * sim.Microsecond,
+		TxBytes: 640_000, // 10000 units, no wrap
+		QLen:    128_000, // 2000 units
+	}
+	w, err := EncodeHop(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeHop(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.B != 100e9 {
+		t.Fatalf("B = %d", d.B)
+	}
+	if d.TSNs != 5000 {
+		t.Fatalf("TSNs = %d", d.TSNs)
+	}
+	if d.TxUnits != 10000 {
+		t.Fatalf("TxUnits = %d", d.TxUnits)
+	}
+	if d.QLenBytes != 128_000 {
+		t.Fatalf("QLenBytes = %d", d.QLenBytes)
+	}
+}
+
+func TestQLenSaturates(t *testing.T) {
+	h := IntHop{B: 100e9, QLen: 100 << 20} // 100 MB queue
+	w, _ := EncodeHop(h)
+	d, _ := DecodeHop(w)
+	want := uint32((1<<16 - 1) * 64)
+	if d.QLenBytes != want {
+		t.Fatalf("QLen = %d, want saturation at %d", d.QLenBytes, want)
+	}
+}
+
+func TestTSDeltaAcrossWrap(t *testing.T) {
+	// prev just before wrap, cur just after: delta must stay small.
+	prev := uint32(1<<24 - 10)
+	cur := uint32(5)
+	if got := TSDeltaNs(prev, cur); got != 15 {
+		t.Fatalf("wrap delta = %d, want 15", got)
+	}
+	if got := TSDeltaNs(100, 200); got != 100 {
+		t.Fatalf("plain delta = %d", got)
+	}
+}
+
+func TestTxDeltaAcrossWrap(t *testing.T) {
+	prev := uint32(1<<20 - 2)
+	cur := uint32(3)
+	if got := TxDeltaBytes(prev, cur); got != 5*64 {
+		t.Fatalf("wrap delta = %d, want %d", got, 5*64)
+	}
+}
+
+// Property: for any two consecutive true samples whose gaps fit within the
+// wrap periods, the wire-reconstructed deltas equal the true deltas (up to
+// the 64-byte quantization of txBytes).
+func TestQuickWireDeltasMatchTruth(t *testing.T) {
+	f := func(startTx uint64, gapUnits uint32, startTsNs uint32, gapNs uint32) bool {
+		gapUnits %= 1 << 20 // under one txBytes wrap
+		gapNs %= 1 << 24    // under one timestamp wrap
+
+		h1 := IntHop{
+			B:       400e9,
+			TS:      sim.Time(startTsNs) * sim.Nanosecond,
+			TxBytes: (startTx % (1 << 40)) &^ 63, // 64B-aligned
+		}
+		h2 := h1
+		h2.TS += sim.Time(gapNs) * sim.Nanosecond
+		h2.TxBytes += uint64(gapUnits) * 64
+
+		w1, err1 := EncodeHop(h1)
+		w2, err2 := EncodeHop(h2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		d1, _ := DecodeHop(w1)
+		d2, _ := DecodeHop(w2)
+		return TSDeltaNs(d1.TSNs, d2.TSNs) == gapNs &&
+			TxDeltaBytes(d1.TxUnits, d2.TxUnits) == uint64(gapUnits)*64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding never produces a word that fails to decode.
+func TestQuickEncodeDecodeTotal(t *testing.T) {
+	f := func(ts int64, tx uint64, q uint32) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		h := IntHop{B: 200e9, TS: sim.Time(ts), TxBytes: tx, QLen: q}
+		w, err := EncodeHop(h)
+		if err != nil {
+			return false
+		}
+		_, err = DecodeHop(w)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeHopRejectsUnknownRate(t *testing.T) {
+	if _, err := EncodeHop(IntHop{B: 12345}); err == nil {
+		t.Fatal("unknown rate encoded")
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 1024 {
+			for e.Step() {
+			}
+		}
+	}
+	for e.Step() {
+	}
+}
+
+func BenchmarkEngineHotLoop(b *testing.B) {
+	// A self-rescheduling event — the steady-state pattern of a busy port.
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(100, tick)
+		}
+	}
+	e.After(100, tick)
+	b.ResetTimer()
+	e.Run()
+	if n != b.N {
+		b.Fatalf("ran %d of %d", n, b.N)
+	}
+}
+
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	evs := make([]*Event, 0, 1024)
+	for i := 0; i < b.N; i++ {
+		evs = append(evs, e.Schedule(Time(i), func() {}))
+		if len(evs) == 1024 {
+			for _, ev := range evs {
+				e.Cancel(ev)
+			}
+			evs = evs[:0]
+		}
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x ^= r.Uint64()
+	}
+	_ = x
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	var x float64
+	for i := 0; i < b.N; i++ {
+		x += r.ExpFloat64()
+	}
+	_ = x
+}
+
+func BenchmarkTxTime(b *testing.B) {
+	var t Time
+	for i := 0; i < b.N; i++ {
+		t += TxTime(1518, 400e9)
+	}
+	_ = t
+}

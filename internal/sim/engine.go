@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by Schedule/After so the
+// caller can cancel it (e.g. a retransmission timer disarmed by an ACK).
+type Event struct {
+	at       Time
+	seq      uint64 // tiebreak: same-time events fire in scheduling order
+	index    int    // heap index, -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// At returns the firing time of the event.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine. An Engine must be
+// driven from one goroutine; the harness-level parallelism in this project
+// runs one independent Engine per (scheme, seed, sweep-point) instead of
+// parallelizing inside a run.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	stopped   bool
+	processed uint64
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns how many events have fired so far (for harness stats).
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently reordering time
+// would corrupt every downstream measurement.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After registers fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes ev from the queue if it has not fired. Safe to call twice.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue or stops when Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes events with firing time <= deadline, then advances the
+// clock to the deadline. Events scheduled exactly at the deadline do fire.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		// Peek.
+		var next *Event
+		for len(e.events) > 0 && e.events[0].canceled {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) > 0 {
+			next = e.events[0]
+		}
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Ticker invokes fn every period until cancel is invoked or the engine
+// drains. It returns a stop function. The first tick fires one period from
+// now.
+func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	stopped := false
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.After(period, tick)
+		}
+	}
+	ev = e.After(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000_000_000*Picosecond {
+		t.Fatalf("Second = %d ps", int64(Second))
+	}
+	if Microsecond.Micros() != 1 {
+		t.Fatalf("Micros: %v", Microsecond.Micros())
+	}
+	if FromSeconds(1.5) != Second+500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{Microsecond, "1.000us"},
+		{300 * Microsecond, "300.000us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+		{-Microsecond, "-1.000us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTxTimeExactAtPaperRates(t *testing.T) {
+	// One MTU at each rate the paper sweeps must be integral picoseconds.
+	cases := []struct {
+		rate int64
+		want Time
+	}{
+		{100e9, 121440 * Picosecond},
+		{200e9, 60720 * Picosecond},
+		{400e9, 30360 * Picosecond},
+	}
+	for _, c := range cases {
+		if got := TxTime(1518, c.rate); got != c.want {
+			t.Errorf("TxTime(1518, %d) = %v want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeLargeNoOverflow(t *testing.T) {
+	// 1 GB at 1 Gbps = 8 seconds; naive bits*Second overflows int64.
+	got := TxTime(1<<30, 1e9)
+	want := Time(8589934592) * Nanosecond / 1 // 2^30*8 ns
+	if got != want {
+		t.Fatalf("TxTime(1GiB, 1Gbps) = %v want %v", got, want)
+	}
+}
+
+func TestBytesAtInvertsTxTime(t *testing.T) {
+	for _, rate := range []int64{25e9, 100e9, 200e9, 400e9} {
+		for _, size := range []int{64, 1024, 1518, 9000} {
+			d := TxTime(size, rate)
+			got := BytesAt(rate, d)
+			// Truncation may lose at most one byte.
+			if got < int64(size)-1 || got > int64(size) {
+				t.Errorf("BytesAt(%d, TxTime(%d)) = %d", rate, size, got)
+			}
+		}
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TxTime(100, 0)
+}
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 0} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{0, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5*Microsecond, func() {
+		if e.Now() != 5*Microsecond {
+			t.Errorf("Now inside event = %v", e.Now())
+		}
+		e.After(2*Microsecond, func() {
+			if e.Now() != 7*Microsecond {
+				t.Errorf("chained Now = %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 7*Microsecond {
+		t.Fatalf("final Now = %v", e.Now())
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("Processed = %d", e.Processed())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is safe
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestCancelFromInsideEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.Schedule(5, func() { e.Cancel(victim) })
+	victim = e.Schedule(10, func() { fired = true })
+	e.Schedule(15, func() {})
+	e.Run()
+	if fired {
+		t.Fatal("victim fired despite cancel")
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v want 20", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v want 100", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("processed %d events after Stop, want 3", n)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var stop func()
+	stop = e.Ticker(10*Microsecond, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 4 {
+			stop()
+		}
+	})
+	e.RunUntil(Millisecond)
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(i+1)*10*Microsecond {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Ticker(0, func() {})
+}
+
+// Property: for any set of random (time, id) pairs, events fire sorted by
+// time with ties broken by insertion order.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			at := Time(d)
+			i := i
+			e.Schedule(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		ok := sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TxTime is monotone in size and antitone in rate.
+func TestQuickTxTimeMonotone(t *testing.T) {
+	f := func(a, b uint16, r uint8) bool {
+		rate := int64(r%4+1) * 100e9
+		sa, sb := int(a), int(b)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return TxTime(sa, rate) <= TxTime(sb, rate) &&
+			TxTime(sb, rate) >= TxTime(sb, 2*rate)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package topo builds the paper's evaluation topologies on the netsim
+// substrate: the dumbbell/chain of Figs 10-11 and the three-level fat-tree
+// (k=8, 128 hosts) of §5.5, including ECMP route installation and base-RTT
+// / ideal-FCT computation.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// ChainOpts parameterizes a linear switch chain with hosts hanging off it.
+type ChainOpts struct {
+	// Switches is the chain length M (Fig 10; paper micro-benchmarks use 3).
+	Switches int
+	// SenderAttach lists, per sender, the switch index it attaches to.
+	// All-zeros is the classic dumbbell; attaching later senders mid-chain
+	// or at the last switch reproduces Fig 11's middle-/last-hop scenarios.
+	SenderAttach []int
+	// RateBps is the uniform link rate (paper sweeps 100/200/400 G).
+	RateBps int64
+	// Delay is the uniform propagation delay (paper: 1.5 us).
+	Delay sim.Time
+}
+
+// Chain is a built chain topology.
+type Chain struct {
+	Net      *netsim.Network
+	Senders  []*netsim.Host
+	Receiver *netsim.Host
+	Switches []*netsim.Switch
+	Opts     ChainOpts
+}
+
+// DefaultChainOpts is the Fig 10 micro-benchmark setup: M=3 switches,
+// N senders on switch 0, 100 Gbps, 1.5 us.
+func DefaultChainOpts(senders int) ChainOpts {
+	return ChainOpts{
+		Switches:     3,
+		SenderAttach: make([]int, senders),
+		RateBps:      100e9,
+		Delay:        1500 * sim.Nanosecond,
+	}
+}
+
+// BuildChain constructs the topology, wires routes for every host pair
+// direction, and sets cfg.BaseRTT from the longest sender->receiver path.
+func BuildChain(cfg netsim.Config, scheme netsim.Scheme, opts ChainOpts) (*Chain, error) {
+	if opts.Switches < 1 {
+		return nil, fmt.Errorf("topo: chain needs >= 1 switch")
+	}
+	if len(opts.SenderAttach) == 0 {
+		return nil, fmt.Errorf("topo: chain needs >= 1 sender")
+	}
+	for i, at := range opts.SenderAttach {
+		if at < 0 || at >= opts.Switches {
+			return nil, fmt.Errorf("topo: sender %d attach point %d out of range", i, at)
+		}
+	}
+
+	// Longest path: a sender on switch 0 crosses Switches+1 links. BaseRTT
+	// counts both directions' propagation plus per-hop store-and-forward of
+	// one MTU for data and one bare ACK back.
+	links := opts.Switches + 1
+	mtuTx := sim.TxTime(cfg.MTUBytes, opts.RateBps)
+	ackTx := sim.TxTime(packet.AckBaseBytes+opts.Switches*packet.IntHopBytes, opts.RateBps)
+	cfg.BaseRTT = sim.Time(links) * (2*opts.Delay + mtuTx + ackTx)
+
+	n, err := netsim.New(cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{Net: n, Opts: opts}
+
+	// Count per-switch local hosts to size ports: port 0 = toward previous
+	// switch, port 1 = toward next switch (or the receiver at the last),
+	// ports 2.. = local senders.
+	local := make([][]int, opts.Switches) // switch -> sender indexes
+	for i, at := range opts.SenderAttach {
+		local[at] = append(local[at], i)
+	}
+	for i := 0; i < opts.Switches; i++ {
+		c.Switches = append(c.Switches, n.NewSwitch(2+len(local[i])))
+	}
+	c.Senders = make([]*netsim.Host, len(opts.SenderAttach))
+	for i := range c.Senders {
+		c.Senders[i] = n.NewHost()
+	}
+	c.Receiver = n.NewHost()
+
+	// Wire the chain.
+	for i := 0; i+1 < opts.Switches; i++ {
+		netsim.Connect(c.Switches[i].PortAt(1), c.Switches[i+1].PortAt(0), opts.RateBps, opts.Delay)
+	}
+	netsim.Connect(c.Switches[opts.Switches-1].PortAt(1), c.Receiver.Port(), opts.RateBps, opts.Delay)
+	senderPort := make([]int, len(c.Senders)) // port index on its switch
+	for swi, idxs := range local {
+		for k, si := range idxs {
+			p := 2 + k
+			senderPort[si] = p
+			netsim.Connect(c.Senders[si].Port(), c.Switches[swi].PortAt(p), opts.RateBps, opts.Delay)
+		}
+	}
+
+	// Routes. Toward the receiver every switch forwards "next" (port 1).
+	for _, sw := range c.Switches {
+		sw.SetRoute(c.Receiver.ID(), 1)
+	}
+	// Toward each sender: its own switch uses the local port; switches
+	// further down the chain forward "previous" (port 0); switches before
+	// it forward "next" (port 1).
+	for si, h := range c.Senders {
+		at := opts.SenderAttach[si]
+		for swi, sw := range c.Switches {
+			switch {
+			case swi == at:
+				sw.SetRoute(h.ID(), senderPort[si])
+			case swi > at:
+				sw.SetRoute(h.ID(), 0)
+			default:
+				sw.SetRoute(h.ID(), 1)
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustChain is BuildChain that panics on error (tests, examples).
+func MustChain(cfg netsim.Config, scheme netsim.Scheme, opts ChainOpts) *Chain {
+	c, err := BuildChain(cfg, scheme, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BottleneckPort returns the canonical congestion point: the egress of the
+// first switch toward the next hop (the port all Fig 9/13 queue-length
+// plots monitor). For senders attached mid-chain the relevant port is
+// Switches[attach].PortAt(1); this helper returns switch 0's.
+func (c *Chain) BottleneckPort() *netsim.Port { return c.Switches[0].PortAt(1) }
+
+// HopPort returns the egress port of the i-th switch toward the receiver,
+// i.e. the queue of hop i+1 on the request path.
+func (c *Chain) HopPort(i int) *netsim.Port { return c.Switches[i].PortAt(1) }
+
+// PathLinks returns the number of links from sender si to the receiver.
+func (c *Chain) PathLinks(si int) int {
+	return c.Opts.Switches - c.Opts.SenderAttach[si] + 1
+}
+
+// IdealFCT computes the standalone completion time of size bytes from
+// sender si: store-and-forward pipelining of full-MTU segments across the
+// path at the uniform link rate.
+func (c *Chain) IdealFCT(si int, size int64) sim.Time {
+	return idealFCT(size, c.PathLinks(si), c.Opts.RateBps, c.Opts.Delay, &c.Net.Cfg)
+}
+
+// AddFlow is a convenience wrapper: sender si to the receiver, with
+// IdealFCT pre-filled.
+func (c *Chain) AddFlow(id uint64, si int, size int64, start sim.Time) *netsim.Flow {
+	f := c.Net.AddFlow(id, c.Senders[si], c.Receiver, size, start)
+	f.IdealFCT = c.IdealFCT(si, size)
+	return f
+}
+
+// idealFCT models the unloaded network: the wire volume serializes once at
+// the access rate, the last segment then crosses the remaining hops, and
+// every link adds its propagation delay.
+func idealFCT(size int64, links int, rate int64, delay sim.Time, cfg *netsim.Config) sim.Time {
+	payload := int64(cfg.PayloadBytes())
+	nPkts := (size + payload - 1) / payload
+	wire := size + nPkts*int64(packet.DataHeaderBytes)
+	lastPkt := size - (nPkts-1)*payload + int64(packet.DataHeaderBytes)
+	t := sim.TxTime(int(wire), rate)                            // source serialization
+	t += sim.Time(links-1) * sim.TxTime(int(lastPkt), rate)     // per-hop store-and-forward
+	t += sim.Time(links) * delay                                // propagation
+	return t
+}

@@ -1,0 +1,183 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FatTreeOpts parameterizes a three-level k-ary fat-tree (§5.5: k=8, 128
+// servers, 100 Gbps everywhere, 1:1 oversubscription, 1.5 us links, ECMP on
+// ToR and aggregation).
+type FatTreeOpts struct {
+	// K is the arity; k pods, (k/2)^2 core switches, k^3/4 hosts. Must be
+	// even and >= 2.
+	K int
+	// RateBps is the access and edge-aggregation link rate.
+	RateBps int64
+	// CoreRateBps is the aggregation-core link rate; zero means RateBps
+	// (the paper's 1:1 oversubscription). Setting it below RateBps
+	// oversubscribes the core (e.g. RateBps/2 gives 2:1).
+	CoreRateBps int64
+	// Delay is the uniform propagation delay.
+	Delay sim.Time
+}
+
+// coreRate resolves the effective agg-core rate.
+func (o FatTreeOpts) coreRate() int64 {
+	if o.CoreRateBps > 0 {
+		return o.CoreRateBps
+	}
+	return o.RateBps
+}
+
+// DefaultFatTreeOpts is the paper's large-scale setup.
+func DefaultFatTreeOpts() FatTreeOpts {
+	return FatTreeOpts{K: 8, RateBps: 100e9, Delay: 1500 * sim.Nanosecond}
+}
+
+// FatTree is a built fat-tree.
+type FatTree struct {
+	Net   *netsim.Network
+	Opts  FatTreeOpts
+	Hosts []*netsim.Host
+	Edge  []*netsim.Switch // k/2 per pod, pod-major order
+	Agg   []*netsim.Switch // k/2 per pod, pod-major order
+	Core  []*netsim.Switch // (k/2)^2
+}
+
+// BuildFatTree constructs the fabric with ECMP routes and a BaseRTT sized
+// for the longest (cross-pod) path.
+func BuildFatTree(cfg netsim.Config, scheme netsim.Scheme, opts FatTreeOpts) (*FatTree, error) {
+	k := opts.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity %d must be even and >= 2", k)
+	}
+	half := k / 2
+
+	// Longest path: 6 links (host-edge-agg-core-agg-edge-host).
+	mtuTx := sim.TxTime(cfg.MTUBytes, opts.RateBps)
+	ackTx := sim.TxTime(packet.AckBaseBytes+5*packet.IntHopBytes, opts.RateBps)
+	cfg.BaseRTT = 6 * (2*opts.Delay + mtuTx + ackTx)
+
+	n, err := netsim.New(cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	ft := &FatTree{Net: n, Opts: opts}
+
+	nHosts := k * k * k / 4
+	for i := 0; i < nHosts; i++ {
+		ft.Hosts = append(ft.Hosts, n.NewHost())
+	}
+	for i := 0; i < k*half; i++ {
+		ft.Edge = append(ft.Edge, n.NewSwitch(k)) // half hosts + half aggs
+		ft.Agg = append(ft.Agg, n.NewSwitch(k))   // half edges + half cores
+	}
+	for i := 0; i < half*half; i++ {
+		ft.Core = append(ft.Core, n.NewSwitch(k)) // one port per pod
+	}
+
+	// Wiring. Edge e in pod p: hosts on ports 0..half-1, aggs on half..k-1.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			edge := ft.Edge[pod*half+e]
+			for hIdx := 0; hIdx < half; hIdx++ {
+				host := ft.Hosts[pod*half*half+e*half+hIdx]
+				netsim.Connect(host.Port(), edge.PortAt(hIdx), opts.RateBps, opts.Delay)
+			}
+			for a := 0; a < half; a++ {
+				agg := ft.Agg[pod*half+a]
+				netsim.Connect(edge.PortAt(half+a), agg.PortAt(e), opts.RateBps, opts.Delay)
+			}
+		}
+		// Agg a in pod: edges on ports 0..half-1 (wired above), cores on
+		// half..k-1. Core index c = a*half + j attaches to pod's agg a.
+		for a := 0; a < half; a++ {
+			agg := ft.Agg[pod*half+a]
+			for j := 0; j < half; j++ {
+				core := ft.Core[a*half+j]
+				netsim.Connect(agg.PortAt(half+j), core.PortAt(pod), opts.coreRate(), opts.Delay)
+			}
+		}
+	}
+
+	// Routes. Helper coordinates for a host index.
+	podOf := func(h int) int { return h / (half * half) }
+	edgeOf := func(h int) int { return (h % (half * half)) / half } // within pod
+	slotOf := func(h int) int { return h % half }                   // port on edge
+
+	uplinks := make([]int, half)
+	for i := range uplinks {
+		uplinks[i] = half + i
+	}
+
+	for hi, host := range ft.Hosts {
+		hid := host.ID()
+		hp, he, hs := podOf(hi), edgeOf(hi), slotOf(hi)
+		// Edge switches.
+		for pod := 0; pod < k; pod++ {
+			for e := 0; e < half; e++ {
+				edge := ft.Edge[pod*half+e]
+				if pod == hp && e == he {
+					edge.SetRoute(hid, hs)
+				} else {
+					edge.SetRoute(hid, uplinks...) // ECMP across aggs
+				}
+			}
+		}
+		// Aggregation switches.
+		for pod := 0; pod < k; pod++ {
+			for a := 0; a < half; a++ {
+				agg := ft.Agg[pod*half+a]
+				if pod == hp {
+					agg.SetRoute(hid, he) // down to the host's edge
+				} else {
+					agg.SetRoute(hid, uplinks...) // ECMP across cores
+				}
+			}
+		}
+		// Core switches: one deterministic downlink per pod.
+		for _, core := range ft.Core {
+			core.SetRoute(hid, hp)
+		}
+	}
+	return ft, nil
+}
+
+// MustFatTree is BuildFatTree that panics on error.
+func MustFatTree(cfg netsim.Config, scheme netsim.Scheme, opts FatTreeOpts) *FatTree {
+	ft, err := BuildFatTree(cfg, scheme, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ft
+}
+
+// PathLinks returns the link count between two hosts: 2 within an edge, 4
+// within a pod, 6 across pods.
+func (ft *FatTree) PathLinks(src, dst int) int {
+	half := ft.Opts.K / 2
+	sp, dp := src/(half*half), dst/(half*half)
+	if sp != dp {
+		return 6
+	}
+	if (src%(half*half))/half != (dst%(half*half))/half {
+		return 4
+	}
+	return 2
+}
+
+// IdealFCT computes the standalone completion time between two hosts.
+func (ft *FatTree) IdealFCT(src, dst int, size int64) sim.Time {
+	return idealFCT(size, ft.PathLinks(src, dst), ft.Opts.RateBps, ft.Opts.Delay, &ft.Net.Cfg)
+}
+
+// AddFlow wires a workload flow between host indexes with IdealFCT filled.
+func (ft *FatTree) AddFlow(id uint64, src, dst int, size int64, start sim.Time) *netsim.Flow {
+	f := ft.Net.AddFlow(id, ft.Hosts[src], ft.Hosts[dst], size, start)
+	f.IdealFCT = ft.IdealFCT(src, dst, size)
+	return f
+}

@@ -1,0 +1,271 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MeshOpts describes an arbitrary switch graph with hosts hanging off every
+// switch — the setting of the paper's Observation 2, method 2 (Fig 6):
+// build multiple spanning trees, each with a unique path between any two
+// nodes, and pin each flow (and its ACKs) to one tree. Path symmetry is
+// then structural rather than a property of the ECMP hash.
+type MeshOpts struct {
+	// Switches is the number of switches (graph vertices).
+	Switches int
+	// Links lists undirected switch-index pairs (graph edges). The graph
+	// must be connected.
+	Links [][2]int
+	// HostsPerSwitch attaches this many hosts to every switch.
+	HostsPerSwitch int
+	// Trees is how many spanning trees to build (roots chosen round-robin
+	// over the switches). Each flow hashes to one tree.
+	Trees int
+	// RateBps and Delay are uniform link parameters.
+	RateBps int64
+	Delay   sim.Time
+}
+
+// Mesh is a built mesh with tree-based symmetric routing.
+type Mesh struct {
+	Net      *netsim.Network
+	Opts     MeshOpts
+	Hosts    []*netsim.Host
+	Switches []*netsim.Switch
+	// TreeRoots records the root switch of each spanning tree.
+	TreeRoots []int
+}
+
+// Fig6Opts returns a small multi-path mesh in the spirit of the paper's
+// Fig 6 example: six switches, cyclic links, three spanning trees.
+func Fig6Opts() MeshOpts {
+	return MeshOpts{
+		Switches: 6,
+		Links: [][2]int{
+			{0, 1}, {0, 2}, {1, 2}, // A-B-C triangle
+			{1, 3}, {1, 4}, {2, 4}, {2, 5}, {4, 5}, // leaves D,E,F multi-homed
+		},
+		HostsPerSwitch: 1,
+		Trees:          3,
+		RateBps:        100e9,
+		Delay:          1500 * sim.Nanosecond,
+	}
+}
+
+// BuildMesh constructs the topology and installs, for every destination
+// host, one next-hop entry per spanning tree at every switch. The ECMP
+// selector (hash % Trees) then picks the same tree at every switch of both
+// directions, so a flow's data and ACK paths coincide by construction.
+func BuildMesh(cfg netsim.Config, scheme netsim.Scheme, opts MeshOpts) (*Mesh, error) {
+	if opts.Switches < 1 {
+		return nil, fmt.Errorf("topo: mesh needs switches")
+	}
+	if opts.HostsPerSwitch < 1 {
+		return nil, fmt.Errorf("topo: mesh needs hosts")
+	}
+	if opts.Trees < 1 {
+		return nil, fmt.Errorf("topo: mesh needs >= 1 tree")
+	}
+	adj := make([][]int, opts.Switches) // neighbor switch -> via link index
+	type edge struct{ a, b int }
+	for li, l := range opts.Links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= opts.Switches || b < 0 || b >= opts.Switches || a == b {
+			return nil, fmt.Errorf("topo: bad link %d: %v", li, l)
+		}
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	if !connected(adj) {
+		return nil, fmt.Errorf("topo: mesh graph not connected")
+	}
+
+	// Base RTT: worst case is the graph diameter along the worst tree; use
+	// a generous bound of Switches+1 links each way.
+	links := opts.Switches + 1
+	mtuTx := sim.TxTime(cfg.MTUBytes, opts.RateBps)
+	cfg.BaseRTT = sim.Time(links) * (2*opts.Delay + mtuTx)
+
+	n, err := netsim.New(cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{Net: n, Opts: opts}
+
+	// Ports: 0..HostsPerSwitch-1 for hosts, then one per incident link in
+	// Links order.
+	portOf := make([]map[int]int, opts.Switches) // switch -> neighbor -> port
+	nextPort := make([]int, opts.Switches)
+	for i := 0; i < opts.Switches; i++ {
+		portOf[i] = make(map[int]int)
+		nextPort[i] = opts.HostsPerSwitch
+	}
+	degree := make([]int, opts.Switches)
+	for _, l := range opts.Links {
+		degree[l[0]]++
+		degree[l[1]]++
+	}
+	for i := 0; i < opts.Switches; i++ {
+		m.Switches = append(m.Switches, n.NewSwitch(opts.HostsPerSwitch+degree[i]))
+	}
+	for i := 0; i < opts.Switches; i++ {
+		for h := 0; h < opts.HostsPerSwitch; h++ {
+			host := n.NewHost()
+			m.Hosts = append(m.Hosts, host)
+			netsim.Connect(host.Port(), m.Switches[i].PortAt(h), opts.RateBps, opts.Delay)
+		}
+	}
+	for _, l := range opts.Links {
+		a, b := l[0], l[1]
+		pa, pb := nextPort[a], nextPort[b]
+		nextPort[a]++
+		nextPort[b]++
+		portOf[a][b] = pa
+		portOf[b][a] = pb
+		netsim.Connect(m.Switches[a].PortAt(pa), m.Switches[b].PortAt(pb), opts.RateBps, opts.Delay)
+	}
+
+	// Spanning trees: BFS from round-robin roots. parent[t][s] is s's
+	// parent switch in tree t (-1 at the root).
+	parents := make([][]int, opts.Trees)
+	for t := 0; t < opts.Trees; t++ {
+		root := (t * maxInt(1, opts.Switches/opts.Trees)) % opts.Switches
+		m.TreeRoots = append(m.TreeRoots, root)
+		parents[t] = bfsTree(adj, root, t)
+	}
+
+	// Tree next-hop: within tree t, the next hop from s toward switch d is
+	// the neighbor of s on the unique tree path. Derive it by rooting the
+	// tree at d: next hop = parent of s in a BFS of the tree from d.
+	treeAdj := make([][][]int, opts.Trees)
+	for t := range parents {
+		ta := make([][]int, opts.Switches)
+		for s, p := range parents[t] {
+			if p >= 0 {
+				ta[s] = append(ta[s], p)
+				ta[p] = append(ta[p], s)
+			}
+		}
+		treeAdj[t] = ta
+	}
+
+	hostSwitch := func(hi int) int { return hi / opts.HostsPerSwitch }
+	hostPort := func(hi int) int { return hi % opts.HostsPerSwitch }
+
+	for hi, host := range m.Hosts {
+		d := hostSwitch(hi)
+		for s := 0; s < opts.Switches; s++ {
+			ports := make([]int, 0, opts.Trees)
+			for t := 0; t < opts.Trees; t++ {
+				if s == d {
+					ports = append(ports, hostPort(hi))
+					continue
+				}
+				next := bfsParent(treeAdj[t], d, s)
+				if next < 0 {
+					return nil, fmt.Errorf("topo: tree %d does not span switch %d", t, s)
+				}
+				ports = append(ports, portOf[s][next])
+			}
+			m.Switches[s].SetRoute(host.ID(), ports...)
+		}
+	}
+	return m, nil
+}
+
+// MustMesh is BuildMesh that panics on error.
+func MustMesh(cfg netsim.Config, scheme netsim.Scheme, opts MeshOpts) *Mesh {
+	m, err := BuildMesh(cfg, scheme, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AddFlow wires a flow between host indexes (IdealFCT left zero: mesh path
+// lengths vary per tree, so slowdown analysis uses chain/fat-tree).
+func (m *Mesh) AddFlow(id uint64, src, dst int, size int64, start sim.Time) *netsim.Flow {
+	return m.Net.AddFlow(id, m.Hosts[src], m.Hosts[dst], size, start)
+}
+
+// connected checks graph connectivity over switch adjacency.
+func connected(adj [][]int) bool {
+	if len(adj) == 0 {
+		return false
+	}
+	seen := make([]bool, len(adj))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[s] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return count == len(adj)
+}
+
+// bfsTree returns parent pointers of a BFS spanning tree rooted at root.
+// The salt rotates neighbor visit order so different trees take different
+// shapes even from the same root.
+func bfsTree(adj [][]int, root, salt int) []int {
+	parent := make([]int, len(adj))
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		nbs := adj[s]
+		for k := range nbs {
+			nb := nbs[(k+salt)%len(nbs)]
+			if parent[nb] == -2 {
+				parent[nb] = s
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return parent
+}
+
+// bfsParent returns the parent of target in a BFS of tree adjacency ta
+// rooted at root — i.e. target's next hop toward root within the tree.
+func bfsParent(ta [][]int, root, target int) int {
+	parent := make([]int, len(ta))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[root] = -1
+	queue := []int{root}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, nb := range ta[s] {
+			if parent[nb] == -2 {
+				parent[nb] = s
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if parent[target] == -2 {
+		return -1
+	}
+	return parent[target]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+// Package trace provides recorders for netsim's fabric-wide trace stream:
+// a bounded ring buffer, per-flow filtering, and text rendering. Attach one
+// with Recorder.Attach(net) while debugging an experiment; detach (or never
+// attach) in measured runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// Recorder captures the last Cap trace events in a ring buffer.
+type Recorder struct {
+	// Cap bounds retained events; 0 means unbounded.
+	Cap int
+	// FlowID, when nonzero, keeps only events of that flow.
+	FlowID uint64
+	// KindMask selects event kinds; nil keeps all.
+	Kinds map[netsim.TraceEventKind]bool
+
+	events []netsim.TraceEvent
+	start  int // ring start when wrapped
+	total  uint64
+}
+
+// NewRecorder returns a ring recorder with the given capacity.
+func NewRecorder(capacity int) *Recorder { return &Recorder{Cap: capacity} }
+
+// Attach installs the recorder on a network (replacing any previous Trace
+// sink) and returns a detach function.
+func (r *Recorder) Attach(n *netsim.Network) (detach func()) {
+	n.Trace = r.Observe
+	return func() {
+		if fnPtrEq(n.Trace, r.Observe) {
+			n.Trace = nil
+		}
+	}
+}
+
+// fnPtrEq guards detach against replacing someone else's sink; function
+// values are not comparable in Go, so the best available check is "was a
+// sink present" — callers detach in LIFO order in practice.
+func fnPtrEq(a func(netsim.TraceEvent), b func(netsim.TraceEvent)) bool {
+	return a != nil && b != nil
+}
+
+// Observe ingests one event (usable directly as Network.Trace).
+func (r *Recorder) Observe(ev netsim.TraceEvent) {
+	if r.FlowID != 0 && ev.FlowID != r.FlowID {
+		return
+	}
+	if r.Kinds != nil && !r.Kinds[ev.Kind] {
+		return
+	}
+	r.total++
+	if r.Cap <= 0 || len(r.events) < r.Cap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.start] = ev
+	r.start = (r.start + 1) % r.Cap
+}
+
+// Total returns how many events passed the filters (including evicted).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Len returns how many events are retained.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns retained events in arrival order.
+func (r *Recorder) Events() []netsim.TraceEvent {
+	out := make([]netsim.TraceEvent, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Drops returns the retained drop events.
+func (r *Recorder) Drops() []netsim.TraceEvent {
+	var out []netsim.TraceEvent
+	for _, ev := range r.Events() {
+		if ev.Kind == netsim.TraceDrop {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders the retained events, one line each.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		kind := "tx  "
+		if ev.Kind == netsim.TraceDrop {
+			kind = "drop"
+		}
+		fmt.Fprintf(&b, "%12s %s node=%d port=%d %s flow=%d seq=%d %dB\n",
+			ev.At, kind, ev.Node, ev.Port, ev.Type, ev.FlowID, ev.Seq, ev.Size)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type nullCC struct{ rate int64 }
+
+func (c *nullCC) Name() string                                 { return "null" }
+func (c *nullCC) OnAck(*netsim.Flow, *packet.Packet, sim.Time) {}
+func (c *nullCC) OnCnp(*netsim.Flow, sim.Time)                 {}
+func (c *nullCC) WindowBytes() int64                           { return 1 << 40 }
+func (c *nullCC) RateBps() int64                               { return c.rate }
+
+type nullRecv struct{}
+
+func (nullRecv) FillAck(ack, data *packet.Packet, _ *netsim.Host)    {}
+func (nullRecv) WantCnp(*packet.Packet, *netsim.Host, sim.Time) bool { return false }
+
+func pair(t *testing.T, cfg netsim.Config) (*netsim.Network, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	n := netsim.MustNew(cfg, netsim.Scheme{
+		Name:        "null",
+		NewSenderCC: func(*netsim.Flow) netsim.SenderCC { return &nullCC{rate: 100e9} },
+		Receiver:    nullRecv{},
+	})
+	h0, h1 := n.NewHost(), n.NewHost()
+	netsim.Connect(h0.Port(), h1.Port(), 100e9, sim.Microsecond)
+	return n, h0, h1
+}
+
+func TestRecorderCapturesTx(t *testing.T) {
+	n, h0, h1 := pair(t, netsim.DefaultConfig())
+	rec := NewRecorder(0)
+	detach := rec.Attach(n)
+	defer detach()
+	n.AddFlow(1, h0, h1, 5000, 0)
+	n.RunUntil(sim.Millisecond)
+
+	if rec.Total() == 0 || rec.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	evs := rec.Events()
+	// First event: first data segment leaving h0.
+	if evs[0].Type != packet.Data || evs[0].Node != h0.ID() || evs[0].Seq != 0 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	// Must contain ACK transmissions from h1.
+	foundAck := false
+	for _, ev := range evs {
+		if ev.Type == packet.Ack && ev.Node == h1.ID() {
+			foundAck = true
+		}
+	}
+	if !foundAck {
+		t.Fatal("no ACK tx recorded")
+	}
+	if !strings.Contains(rec.String(), "DATA") {
+		t.Fatalf("render:\n%s", rec.String())
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	n, h0, h1 := pair(t, netsim.DefaultConfig())
+	rec := NewRecorder(4)
+	rec.Attach(n)
+	n.AddFlow(1, h0, h1, 50_000, 0)
+	n.RunUntil(sim.Millisecond)
+	if rec.Len() != 4 {
+		t.Fatalf("ring kept %d, want 4", rec.Len())
+	}
+	if rec.Total() <= 4 {
+		t.Fatalf("total %d should exceed cap", rec.Total())
+	}
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("ring events out of order")
+		}
+	}
+}
+
+func TestRecorderFlowFilter(t *testing.T) {
+	n, h0, h1 := pair(t, netsim.DefaultConfig())
+	rec := NewRecorder(0)
+	rec.FlowID = 2
+	rec.Attach(n)
+	n.AddFlow(1, h0, h1, 20_000, 0)
+	n.AddFlow(2, h0, h1, 20_000, 0)
+	n.RunUntil(sim.Millisecond)
+	for _, ev := range rec.Events() {
+		if ev.FlowID != 2 {
+			t.Fatalf("filter leak: %+v", ev)
+		}
+	}
+	if rec.Len() == 0 {
+		t.Fatal("filter dropped everything")
+	}
+}
+
+func TestRecorderKindFilterAndDrops(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.PFCEnabled = false
+	cfg.SharedBufferBytes = 8_000
+	n := netsim.MustNew(cfg, netsim.Scheme{
+		Name:        "null",
+		NewSenderCC: func(*netsim.Flow) netsim.SenderCC { return &nullCC{rate: 100e9} },
+		Receiver:    nullRecv{},
+	})
+	// 2:1 overload through a switch with a tiny buffer to force drops.
+	h0, h1, h2 := n.NewHost(), n.NewHost(), n.NewHost()
+	sw := n.NewSwitch(3)
+	netsim.Connect(h0.Port(), sw.PortAt(0), 100e9, sim.Microsecond)
+	netsim.Connect(h1.Port(), sw.PortAt(1), 100e9, sim.Microsecond)
+	netsim.Connect(h2.Port(), sw.PortAt(2), 100e9, sim.Microsecond)
+	sw.SetRoute(h2.ID(), 2)
+	sw.SetRoute(h0.ID(), 0)
+	sw.SetRoute(h1.ID(), 1)
+
+	rec := NewRecorder(0)
+	rec.Kinds = map[netsim.TraceEventKind]bool{netsim.TraceDrop: true}
+	rec.Attach(n)
+	n.AddFlow(1, h0, h2, 500_000, 0)
+	n.AddFlow(2, h1, h2, 500_000, 0)
+	n.RunUntil(200 * sim.Microsecond)
+
+	if n.Drops.N == 0 {
+		t.Fatal("no drops provoked")
+	}
+	if int64(rec.Len()) != n.Drops.N {
+		t.Fatalf("recorded %d drops, counter says %d", rec.Len(), n.Drops.N)
+	}
+	for _, ev := range rec.Drops() {
+		if ev.Kind != netsim.TraceDrop || ev.Port != -1 || ev.Node != sw.ID() {
+			t.Fatalf("bad drop event: %+v", ev)
+		}
+	}
+	if !strings.Contains(rec.String(), "drop") {
+		t.Fatal("render missing drops")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	n, h0, h1 := pair(t, netsim.DefaultConfig())
+	rec := NewRecorder(0)
+	detach := rec.Attach(n)
+	detach()
+	n.AddFlow(1, h0, h1, 5000, 0)
+	n.RunUntil(sim.Millisecond)
+	if rec.Len() != 0 {
+		t.Fatal("recorder saw events after detach")
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkSampleWebSearch(b *testing.B) {
+	c := WebSearch()
+	rng := sim.NewRNG(1)
+	var x int64
+	for i := 0; i < b.N; i++ {
+		x += c.Sample(rng)
+	}
+	_ = x
+}
+
+func BenchmarkSampleHadoop(b *testing.B) {
+	c := FBHadoop()
+	rng := sim.NewRNG(1)
+	var x int64
+	for i := 0; i < b.N; i++ {
+		x += c.Sample(rng)
+	}
+	_ = x
+}
+
+func BenchmarkGenerate1ms128Hosts(b *testing.B) {
+	cfg := GenConfig{
+		Hosts: 128, AccessBps: 100e9, Load: 0.5,
+		CDF: FBHadoop(), Horizon: sim.Millisecond, Seed: 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		flows, err := Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}

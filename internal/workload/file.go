@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseCDF reads a flow-size distribution in the format used by the
+// HPCC/Homa simulation artifacts the paper's workloads come from: one
+// "<size_bytes> <cumulative_probability>" pair per line, increasing in
+// both columns, ending at probability 1. Blank lines and '#' comments are
+// ignored.
+//
+//	# WebSearch flow size distribution
+//	6000    0
+//	10000   0.15
+//	...
+//	30000000 1.0
+func ParseCDF(name string, r io.Reader) (*CDF, error) {
+	var points []CDFPoint
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: %s line %d: want 'bytes cum', got %q", name, line, text)
+		}
+		bytes, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s line %d: bad size: %v", name, line, err)
+		}
+		cum, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s line %d: bad probability: %v", name, line, err)
+		}
+		points = append(points, CDFPoint{Bytes: bytes, Cum: cum})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", name, err)
+	}
+	return NewCDF(name, points)
+}
+
+// FormatCDF writes a CDF back in the same file format (round-trips with
+// ParseCDF), so custom distributions can be exported for other tools.
+func FormatCDF(c *CDF) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s flow size distribution (bytes cum)\n", c.name)
+	for _, p := range c.points {
+		// %g keeps fractional sizes distinct so the output always
+		// re-parses (sizes must stay strictly increasing).
+		fmt.Fprintf(&b, "%g %g\n", p.Bytes, p.Cum)
+	}
+	return b.String()
+}

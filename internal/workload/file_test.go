@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCDF(t *testing.T) {
+	in := `
+# comment
+6000    0
+10000   0.15
+
+200000  0.6
+30000000 1.0
+`
+	c, err := ParseCDF("test", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinBytes() != 6000 || c.MaxBytes() != 30_000_000 {
+		t.Fatalf("range [%d, %d]", c.MinBytes(), c.MaxBytes())
+	}
+	if q := c.Quantile(0.15); q != 10_000 {
+		t.Fatalf("Quantile(0.15) = %d", q)
+	}
+}
+
+func TestParseCDFErrors(t *testing.T) {
+	cases := []string{
+		"6000 0\n10000",            // missing column
+		"abc 0\n10000 1",           // bad size
+		"6000 zero\n10000 1",       // bad probability
+		"6000 0\n10000 0.9",        // does not end at 1
+		"6000 0.5\n10000 0.2\n2000000 1", // decreasing cum
+	}
+	for i, in := range cases {
+		if _, err := ParseCDF("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+func TestFormatParseRoundtrip(t *testing.T) {
+	for _, c := range []*CDF{WebSearch(), FBHadoop()} {
+		out := FormatCDF(c)
+		back, err := ParseCDF(c.Name(), strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.Name(), err, out)
+		}
+		if back.MeanBytes() != c.MeanBytes() {
+			t.Fatalf("%s: mean changed %v -> %v", c.Name(), c.MeanBytes(), back.MeanBytes())
+		}
+		if back.MinBytes() != c.MinBytes() || back.MaxBytes() != c.MaxBytes() {
+			t.Fatalf("%s: range changed", c.Name())
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzParseCDF drives the CDF-file parser with arbitrary input: it must
+// never panic, and any distribution it accepts must uphold the sampling
+// invariants (positive sizes within [min, max]).
+func FuzzParseCDF(f *testing.F) {
+	f.Add("6000 0\n10000 0.5\n200000 1\n")
+	f.Add("# comment\n75 0.1\n1000000 1.0\n")
+	f.Add("")
+	f.Add("1 1")
+	f.Add("nonsense\n\n## \n-5 0.5\n10 1\n")
+	f.Add("10 0.5\n9 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ParseCDF("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rng := sim.NewRNG(1)
+		for i := 0; i < 50; i++ {
+			s := c.Sample(rng)
+			if s < 1 || s > c.MaxBytes() {
+				t.Fatalf("accepted CDF sampled %d outside [1, %d] for %q",
+					s, c.MaxBytes(), input)
+			}
+		}
+		// Round-trip: formatting an accepted CDF must re-parse.
+		if _, err := ParseCDF("again", strings.NewReader(FormatCDF(c))); err != nil {
+			t.Fatalf("roundtrip failed for %q: %v", input, err)
+		}
+	})
+}
