@@ -1,0 +1,245 @@
+// fnccbench drives the declarative scenario subsystem from the command
+// line: list the built-in scenarios, run one by name or from a JSON spec
+// file, or sweep a grid of schemes × seeds × loads × sizes with a
+// content-addressed result cache.
+//
+//	fnccbench list
+//	fnccbench show  <name>                     # canonical spec + hash
+//	fnccbench run   <name|spec.json> [flags]
+//	fnccbench sweep <name|spec.json> [flags]
+//
+// Examples:
+//
+//	fnccbench run incast -scheme HPCC
+//	fnccbench sweep micro -schemes FNCC,HPCC,DCQCN,RoCC -cache .fnccbench
+//	fnccbench sweep fct-websearch -schemes FNCC,HPCC -seeds 1,2,3 \
+//	    -loads 0.3,0.5,0.7 -agg -format csv -cache .fnccbench
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fnccbench: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fnccbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep> [args]
+  list                      built-in scenarios
+  show  <name|spec.json>    canonical spec JSON + content hash
+  run   <name|spec.json>    execute one scenario (flags: -scheme -seed -load -cache -json)
+  sweep <name|spec.json>    expand and run a grid (flags: -schemes -seeds -loads -sizes
+                            -workers -cache -agg -format table|csv|json)
+Run 'fnccbench <subcommand> -h' for flags.`)
+}
+
+// resolve loads a spec from the registry or, when the argument names an
+// existing file, parses it as JSON. Read failures other than "no such
+// file" surface as-is instead of masquerading as unknown scenario names.
+func resolve(arg string) (scenario.Spec, error) {
+	data, err := os.ReadFile(arg)
+	if err == nil {
+		return scenario.ParseSpec(data)
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		return scenario.Spec{}, err
+	}
+	return scenario.Lookup(arg)
+}
+
+func cmdList() error {
+	fmt.Printf("%-24s %-12s %-8s %s\n", "name", "kind", "scheme", "description")
+	for _, e := range scenario.Builtin() {
+		fmt.Printf("%-24s %-12s %-8s %s\n", e.Spec.Name, e.Spec.Kind, e.Spec.Scheme, e.Desc)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("show needs a scenario name or spec file")
+	}
+	sp, err := resolve(args[0])
+	if err != nil {
+		return err
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	canon, err := sp.Canonical()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\nhash: %s\n", canon, sp.Hash())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("run needs a scenario name or spec file first")
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	schemeF := fs.String("scheme", "", "override the spec's scheme")
+	seed := fs.Int64("seed", -1, "override the spec's seed (-1 keeps it)")
+	load := fs.Float64("load", 0, "override the spec's target load")
+	cache := fs.String("cache", "", "result cache directory (empty disables)")
+	asJSON := fs.Bool("json", false, "print the full result as JSON")
+	fs.Parse(args[1:])
+
+	sp, err := resolve(args[0])
+	if err != nil {
+		return err
+	}
+	if *schemeF != "" {
+		sp.Scheme = *schemeF
+	}
+	if *seed >= 0 {
+		sp.Seed = *seed
+	}
+	if *load > 0 {
+		sp.Load = *load
+	}
+	r := &harness.Runner{CacheDir: *cache}
+	res, err := r.Run(sp)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return harness.WriteJSON(os.Stdout, harness.Rows([]*scenario.Result{res}))
+	}
+	src := "simulated"
+	if res.Cached {
+		src = "cached"
+	}
+	fmt.Printf("%s (%s, %s) %s [%s]\n", res.Spec.Name, res.Spec.Kind, res.Spec.Scheme, res.Hash, src)
+	for _, k := range res.MetricNames() {
+		fmt.Printf("  %-20s %g\n", k, res.Metrics[k])
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("sweep needs a scenario name or spec file first")
+	}
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	schemes := fs.String("schemes", "", "comma-separated scheme names")
+	seeds := fs.String("seeds", "", "comma-separated int64 seeds")
+	loads := fs.String("loads", "", "comma-separated target loads")
+	sizes := fs.String("sizes", "", "comma-separated topology sizes (K / senders / fanout)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache := fs.String("cache", "", "result cache directory (empty disables)")
+	agg := fs.Bool("agg", false, "aggregate metrics across seeds")
+	format := fs.String("format", "table", "output format: table|csv|json")
+	fs.Parse(args[1:])
+
+	base, err := resolve(args[0])
+	if err != nil {
+		return err
+	}
+	sweep := harness.Sweep{Base: base}
+	if *schemes != "" {
+		sweep.Grid.Schemes = splitList(*schemes)
+	}
+	for _, s := range splitList(*seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		sweep.Grid.Seeds = append(sweep.Grid.Seeds, v)
+	}
+	for _, s := range splitList(*loads) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad load %q: %w", s, err)
+		}
+		sweep.Grid.Loads = append(sweep.Grid.Loads, v)
+	}
+	for _, s := range splitList(*sizes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", s, err)
+		}
+		sweep.Grid.Sizes = append(sweep.Grid.Sizes, v)
+	}
+
+	specs, err := sweep.Expand()
+	if err != nil {
+		return err
+	}
+	runner := &harness.Runner{CacheDir: *cache, Workers: *workers}
+	results, err := runner.RunAll(specs)
+	if err != nil {
+		return err
+	}
+	rows := harness.Rows(results)
+	if *agg {
+		rows = harness.Aggregate(rows)
+	}
+	switch *format {
+	case "table":
+		fmt.Print(harness.FormatTable(rows))
+	case "csv":
+		if err := harness.WriteCSV(os.Stdout, rows); err != nil {
+			return err
+		}
+	case "json":
+		if err := harness.WriteJSON(os.Stdout, rows); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	hits, misses := runner.Stats()
+	fmt.Fprintf(os.Stderr, "fnccbench: %d point(s): %d simulated, %d from cache\n",
+		len(results), misses, hits)
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

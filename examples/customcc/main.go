@@ -38,9 +38,9 @@ func newAIMD(f *netsim.Flow) netsim.SenderCC {
 	return &aimd{w: bdp, minW: 1518, rtt: rtt}
 }
 
-func (a *aimd) Name() string       { return "AIMD-ECN" }
-func (a *aimd) WindowBytes() int64 { return int64(a.w) }
-func (a *aimd) RateBps() int64     { return int64(a.w * 8 / a.rtt.Seconds()) }
+func (a *aimd) Name() string                 { return "AIMD-ECN" }
+func (a *aimd) WindowBytes() int64           { return int64(a.w) }
+func (a *aimd) RateBps() int64               { return int64(a.w * 8 / a.rtt.Seconds()) }
 func (a *aimd) OnCnp(*netsim.Flow, sim.Time) {}
 
 func (a *aimd) OnAck(f *netsim.Flow, ack *packet.Packet, now sim.Time) {

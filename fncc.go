@@ -20,8 +20,10 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -204,6 +206,52 @@ var (
 	DefaultIncastConfig   = exp.DefaultIncastConfig
 	RunIncast             = exp.RunIncast
 	FormatIncastTable     = exp.FormatIncastTable
+)
+
+// Declarative scenarios and the sweep harness (cmd/fnccbench drives these
+// from the command line; see DESIGN.md's scenario index).
+type (
+	// Scenario is a JSON-serializable experiment description with a
+	// canonical encoding and stable content hash.
+	Scenario = scenario.Spec
+	// ScenarioTopo declares a scenario's fabric.
+	ScenarioTopo = scenario.TopoSpec
+	// ScenarioWorkload declares a scenario's offered traffic.
+	ScenarioWorkload = scenario.WorkloadSpec
+	// ScenarioResult is one executed scenario's flat metric map.
+	ScenarioResult = scenario.Result
+	// ScenarioEntry is a named registry scenario.
+	ScenarioEntry = scenario.Entry
+	// Sweep is a base scenario plus a grid over schemes/seeds/loads/sizes.
+	Sweep = harness.Sweep
+	// SweepGrid is the sweep dimensions.
+	SweepGrid = harness.Grid
+	// SweepRunner executes specs in parallel with a disk result cache.
+	SweepRunner = harness.Runner
+	// SweepRow is one exported result line.
+	SweepRow = harness.Row
+)
+
+// Scenario and sweep entry points.
+var (
+	// RunScenario validates and executes one declarative scenario.
+	RunScenario = scenario.Run
+	// ParseScenario decodes a JSON spec, rejecting unknown fields.
+	ParseScenario = scenario.ParseSpec
+	// BuiltinScenarios lists the registry sorted by name.
+	BuiltinScenarios = scenario.Builtin
+	// LookupScenario resolves a registry name.
+	LookupScenario = scenario.Lookup
+	// ScenarioKinds lists the runnable scenario kinds.
+	ScenarioKinds = scenario.Kinds
+	// BuildCCScheme constructs a scheme with parameter overrides applied.
+	BuildCCScheme = scenario.BuildScheme
+	// SweepRows flattens results for export; AggregateRows averages them
+	// across seeds; WriteSweepCSV / WriteSweepJSON serialize them.
+	SweepRows      = harness.Rows
+	AggregateRows  = harness.Aggregate
+	WriteSweepCSV  = harness.WriteCSV
+	WriteSweepJSON = harness.WriteJSON
 )
 
 // Extension baselines (paper §6 related work; not part of the paper's

@@ -1,0 +1,49 @@
+package fncc_test
+
+import (
+	"testing"
+
+	fncc "repro"
+)
+
+// TestScenarioFacade drives the declarative layer through the public API:
+// registry lookup, a cached sweep, and export rows.
+func TestScenarioFacade(t *testing.T) {
+	if n := len(fncc.BuiltinScenarios()); n < 8 {
+		t.Fatalf("registry exposes %d scenarios, want >= 8", n)
+	}
+	sp, err := fncc.LookupScenario("micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.DurationUs = 500
+
+	sweep := fncc.Sweep{Base: sp, Grid: fncc.SweepGrid{Schemes: []string{"FNCC", "HPCC"}}}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &fncc.SweepRunner{CacheDir: t.TempDir()}
+	results, err := runner.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fncc.SweepRows(results)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Metrics["queue_peak_bytes"] <= 0 {
+			t.Errorf("%s: no queue buildup recorded", r.Scheme)
+		}
+	}
+
+	// The cache round-trips through the facade too.
+	again, err := (&fncc.SweepRunner{CacheDir: runner.CacheDir}).RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again[0].Cached || !again[1].Cached {
+		t.Error("second sweep was not served from cache")
+	}
+}

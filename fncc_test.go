@@ -53,8 +53,8 @@ func TestFacadeFatTreeOversubscription(t *testing.T) {
 	// core links; same-pod traffic is not. Both must still complete.
 	opts := FatTreeOpts{K: 4, RateBps: 100e9, CoreRateBps: 50e9, Delay: 1500 * sim.Nanosecond}
 	ft := MustFatTree(DefaultNetConfig(), MustScheme(SchemeFNCC), opts)
-	cross := ft.AddFlow(1, 0, 8, 2_000_000, 0)  // pod 0 -> pod 2
-	local := ft.AddFlow(2, 1, 2, 2_000_000, 0)  // within pod 0
+	cross := ft.AddFlow(1, 0, 8, 2_000_000, 0) // pod 0 -> pod 2
+	local := ft.AddFlow(2, 1, 2, 2_000_000, 0) // within pod 0
 	ft.Net.RunToCompletion(100 * Millisecond)
 	if !cross.Done() || !local.Done() {
 		t.Fatal("oversubscribed flows incomplete")

@@ -63,8 +63,8 @@ type DCQCN struct {
 	eng *sim.Engine
 	b   int64 // line rate
 
-	rc, rt    float64 // current and target rates, bps
-	alpha     float64
+	rc, rt     float64 // current and target rates, bps
+	alpha      float64
 	byteStage  int
 	timeStage  int
 	acked      int64 // bytes acknowledged since the last byte-counter event

@@ -47,9 +47,9 @@ func TestTimelyGradientDecrease(t *testing.T) {
 	_, f := newTestFlow(t, NewTimelyScheme(DefaultTimelyConfig()))
 	tl := f.CC().(*Timely)
 	// Rising RTTs inside the band -> positive gradient -> decrease.
-	tl.OnAck(f, timelyAck(10*sim.Microsecond), 50*sim.Microsecond)  // RTT 40us
+	tl.OnAck(f, timelyAck(10*sim.Microsecond), 50*sim.Microsecond) // RTT 40us
 	r0 := tl.RateBps()
-	tl.OnAck(f, timelyAck(20*sim.Microsecond), 90*sim.Microsecond)  // RTT 70us
+	tl.OnAck(f, timelyAck(20*sim.Microsecond), 90*sim.Microsecond) // RTT 70us
 	// prevRTT 40 -> 70: +30us step on a 13us minRTT: strong gradient.
 	if tl.RateBps() >= r0 {
 		t.Fatalf("no gradient decrease: %d -> %d", r0, tl.RateBps())

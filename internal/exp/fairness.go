@@ -24,6 +24,8 @@ type FairnessConfig struct {
 	RateBps     int64
 	Stagger     sim.Time
 	SampleEvery sim.Time
+	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
+	MakeScheme SchemeBuilder `json:"-"`
 }
 
 // DefaultFairnessConfig uses a CI-friendly 1 ms stagger (≈75 RTTs).
@@ -55,7 +57,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	if cfg.Senders < 2 {
 		return nil, fmt.Errorf("exp: fairness needs >= 2 senders")
 	}
-	scheme, err := NewScheme(cfg.Scheme)
+	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,11 @@ type FCTConfig struct {
 	DrainFactor int
 	// Seed drives workload generation and fabric randomness.
 	Seed int64
+	// CoreRateBps oversubscribes the aggregation-core tier when set below
+	// RateBps; zero keeps the paper's 1:1 fabric.
+	CoreRateBps int64
+	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
+	MakeScheme SchemeBuilder `json:"-"`
 }
 
 // DefaultFCTConfig mirrors §5.5 at a CI-friendly horizon; cmd/fctsweep
@@ -103,7 +108,7 @@ type FCTResult struct {
 
 // RunFCT executes one (scheme, seed) large-scale run.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
-	scheme, err := NewScheme(cfg.Scheme)
+	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +118,8 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = cfg.Seed
-	ftOpts := topo.FatTreeOpts{K: cfg.K, RateBps: cfg.RateBps, Delay: 1500 * sim.Nanosecond}
+	ftOpts := topo.FatTreeOpts{K: cfg.K, RateBps: cfg.RateBps,
+		CoreRateBps: cfg.CoreRateBps, Delay: 1500 * sim.Nanosecond}
 	ft, err := topo.BuildFatTree(ncfg, scheme, ftOpts)
 	if err != nil {
 		return nil, err

@@ -31,6 +31,8 @@ type HopConfig struct {
 	Flow1Bytes  int64
 	Duration    sim.Time
 	SampleEvery sim.Time
+	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
+	MakeScheme SchemeBuilder `json:"-"`
 }
 
 // DefaultHopConfig mirrors §5.4: 100 Gbps, flow1 joins at 300 us and (for
@@ -68,7 +70,7 @@ type HopResult struct {
 
 // RunHop executes one hop-location experiment.
 func RunHop(cfg HopConfig) (*HopResult, error) {
-	scheme, err := NewScheme(cfg.Scheme)
+	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,8 @@ type IncastConfig struct {
 	RateBps int64
 	// Deadline bounds the run.
 	Deadline sim.Time
+	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
+	MakeScheme SchemeBuilder `json:"-"`
 }
 
 // DefaultIncastConfig is a 16:1, 2 MB-per-sender burst at 100 G.
@@ -59,7 +61,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	if cfg.Fanout < 2 {
 		return nil, fmt.Errorf("exp: incast needs fanout >= 2")
 	}
-	scheme, err := NewScheme(cfg.Scheme)
+	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
 	}

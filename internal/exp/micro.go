@@ -30,6 +30,9 @@ type MicroConfig struct {
 	PFCPauseBytes int64
 	// Scheme names the algorithm under test.
 	Scheme string
+	// MakeScheme, when non-nil, overrides the registry lookup of Scheme
+	// (scenario layer injection point).
+	MakeScheme SchemeBuilder `json:"-"`
 }
 
 // DefaultMicroConfig returns the §5.1 setup at the given rate.
@@ -75,7 +78,7 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	if cfg.Senders < 2 {
 		return nil, fmt.Errorf("exp: micro needs >= 2 senders")
 	}
-	scheme, err := NewScheme(cfg.Scheme)
+	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
 	}

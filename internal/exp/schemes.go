@@ -62,6 +62,21 @@ func NewScheme(name string) (netsim.Scheme, error) {
 	}
 }
 
+// SchemeBuilder constructs a Scheme. Every runner config carries an optional
+// one so callers (the scenario layer) can inject parameter-overridden schemes
+// without widening the runner signatures; nil falls back to NewScheme on the
+// config's scheme name.
+type SchemeBuilder func() (netsim.Scheme, error)
+
+// buildScheme resolves a config's scheme: the injected builder if present,
+// otherwise the registry defaults for name.
+func buildScheme(name string, b SchemeBuilder) (netsim.Scheme, error) {
+	if b != nil {
+		return b()
+	}
+	return NewScheme(name)
+}
+
 // MustScheme is NewScheme that panics on error.
 func MustScheme(name string) netsim.Scheme {
 	s, err := NewScheme(name)

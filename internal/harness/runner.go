@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/exp"
+	"repro/internal/scenario"
+)
+
+// Runner executes scenario specs on the exp.ParallelMap worker pool with an
+// optional content-addressed disk cache. A Runner is safe for concurrent
+// use; Hits/Misses accumulate across RunAll calls.
+type Runner struct {
+	// CacheDir stores one JSON result file per spec hash; empty disables
+	// caching.
+	CacheDir string
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.
+	Workers int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats reports how many jobs were served from cache vs simulated.
+func (r *Runner) Stats() (hits, misses int64) {
+	return r.hits.Load(), r.misses.Load()
+}
+
+// RunAll executes every spec (cache-first) and returns results in spec
+// order. The first simulation error aborts; completed jobs remain cached.
+func (r *Runner) RunAll(specs []scenario.Spec) ([]*scenario.Result, error) {
+	if r.CacheDir != "" {
+		if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: cache dir: %w", err)
+		}
+	}
+	type out struct {
+		res *scenario.Result
+		err error
+	}
+	outs := exp.ParallelMap(specs, r.Workers, func(sp scenario.Spec) out {
+		res, err := r.runOne(sp)
+		return out{res, err}
+	})
+	results := make([]*scenario.Result, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		results[i] = o.res
+	}
+	return results, nil
+}
+
+// Run executes one spec through the same cache path as RunAll.
+func (r *Runner) Run(sp scenario.Spec) (*scenario.Result, error) {
+	if r.CacheDir != "" {
+		if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: cache dir: %w", err)
+		}
+	}
+	return r.runOne(sp)
+}
+
+func (r *Runner) runOne(sp scenario.Spec) (*scenario.Result, error) {
+	// Validate here, not just inside scenario.Run: a cache hit returns
+	// before Run, and a spec that today's rules reject must not be served
+	// from a cache written under yesterday's.
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	hash := sp.Hash()
+	if res, ok := r.load(hash); ok {
+		// The cache key ignores Name; restore the caller's label.
+		res.Spec.Name = sp.Name
+		r.hits.Add(1)
+		return res, nil
+	}
+	res, err := scenario.Run(sp)
+	if err != nil {
+		return nil, err
+	}
+	r.misses.Add(1)
+	if err := r.store(hash, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// load reads a cached result; any unreadable or mismatched file is treated
+// as a miss (and re-simulated), never an error.
+func (r *Runner) load(hash string) (*scenario.Result, bool) {
+	if r.CacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(r.cachePath(hash))
+	if err != nil {
+		return nil, false
+	}
+	var res scenario.Result
+	if json.Unmarshal(data, &res) != nil || res.Hash != hash || res.Metrics == nil {
+		return nil, false
+	}
+	res.Cached = true
+	return &res, true
+}
+
+// store writes the result atomically (temp file + rename) so a crashed or
+// concurrent sweep never leaves a truncated cache entry.
+func (r *Runner) store(hash string, res *scenario.Result) error {
+	if r.CacheDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encode result: %w", err)
+	}
+	tmp, err := os.CreateTemp(r.CacheDir, hash+".tmp-")
+	if err != nil {
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), r.cachePath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cache write: %w", err)
+	}
+	return nil
+}
+
+func (r *Runner) cachePath(hash string) string {
+	return filepath.Join(r.CacheDir, hash+".json")
+}

@@ -1,0 +1,102 @@
+// Package harness turns declarative scenarios (internal/scenario) into
+// sweeps: a grid over schemes × seeds × loads × topology sizes expands to
+// one spec per point, jobs execute on the exp.ParallelMap worker pool, a
+// disk cache keyed by spec content hash makes re-runs and resumed sweeps
+// near-free, and results export as aggregated JSON/CSV tables.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Grid is the sweep dimensions. Empty dimensions keep the base spec's
+// value; expansion order is schemes (outer) → sizes → loads → seeds.
+type Grid struct {
+	// Schemes are congestion-control scheme names (exp registry).
+	Schemes []string `json:"schemes,omitempty"`
+	// Seeds repeat each point with different randomness.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Loads are target access-link loads for Poisson kinds.
+	Loads []float64 `json:"loads,omitempty"`
+	// Sizes scale the topology: fat-tree arity K for fat-tree kinds,
+	// sender count for micro/fairness, fanout for incast.
+	Sizes []int `json:"sizes,omitempty"`
+}
+
+// Points returns how many jobs the grid expands to.
+func (g Grid) Points() int {
+	n := 1
+	for _, d := range []int{len(g.Schemes), len(g.Seeds), len(g.Loads), len(g.Sizes)} {
+		if d > 0 {
+			n *= d
+		}
+	}
+	return n
+}
+
+// Sweep is a base scenario plus the grid swept over it.
+type Sweep struct {
+	Base scenario.Spec `json:"base"`
+	Grid Grid          `json:"grid"`
+}
+
+// Expand produces one validated spec per grid point, in deterministic
+// order.
+func (s Sweep) Expand() ([]scenario.Spec, error) {
+	schemes := s.Grid.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{s.Base.Scheme}
+	}
+	sizes := s.Grid.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{0} // 0 = keep base
+	}
+	loads := s.Grid.Loads
+	if len(loads) == 0 {
+		loads = []float64{s.Base.Load}
+	}
+	seeds := s.Grid.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Base.Seed}
+	}
+	var specs []scenario.Spec
+	for _, scheme := range schemes {
+		for _, size := range sizes {
+			for _, load := range loads {
+				for _, seed := range seeds {
+					sp := s.Base
+					sp.Scheme = scheme
+					sp.Load = load
+					sp.Seed = seed
+					if size > 0 {
+						if err := applySize(&sp, size); err != nil {
+							return nil, err
+						}
+					}
+					if err := sp.Validate(); err != nil {
+						return nil, fmt.Errorf("harness: grid point %s/%s: %w", scheme, sp.Kind, err)
+					}
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// applySize maps a grid size onto the kind's natural scale dimension.
+func applySize(sp *scenario.Spec, n int) error {
+	switch sp.Kind {
+	case scenario.KindFCT, scenario.KindPermutation, scenario.KindAllToAll, scenario.KindMixed:
+		sp.Topo.K = n
+	case scenario.KindMicro, scenario.KindFairness:
+		sp.Topo.Senders = n
+	case scenario.KindIncast:
+		sp.Workload.Fanout = n
+	default:
+		return fmt.Errorf("harness: kind %q has no size dimension", sp.Kind)
+	}
+	return nil
+}

@@ -14,11 +14,11 @@ type fixedCC struct {
 	window int64
 }
 
-func (c *fixedCC) Name() string                            { return "fixed" }
-func (c *fixedCC) OnAck(*Flow, *packet.Packet, sim.Time)   {}
-func (c *fixedCC) OnCnp(*Flow, sim.Time)                   {}
-func (c *fixedCC) WindowBytes() int64                      { return c.window }
-func (c *fixedCC) RateBps() int64                          { return c.rate }
+func (c *fixedCC) Name() string                          { return "fixed" }
+func (c *fixedCC) OnAck(*Flow, *packet.Packet, sim.Time) {}
+func (c *fixedCC) OnCnp(*Flow, sim.Time)                 {}
+func (c *fixedCC) WindowBytes() int64                    { return c.window }
+func (c *fixedCC) RateBps() int64                        { return c.rate }
 
 // echoReceiver copies data INT into the ACK (HPCC-style echo), no CNPs.
 type echoReceiver struct{}

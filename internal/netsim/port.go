@@ -31,10 +31,10 @@ type Port struct {
 	queues      [][]*packet.Packet
 	classBytes  []int64
 	paused      []bool
-	pausedSince []sim.Time // valid while paused[class]
-	queueBytes  int64      // total across classes
-	control    []*packet.Packet // PFC frames, transmitted first, never paused
-	busy       bool
+	pausedSince []sim.Time       // valid while paused[class]
+	queueBytes  int64            // total across classes
+	control     []*packet.Packet // PFC frames, transmitted first, never paused
+	busy        bool
 
 	// Telemetry, readable by INT hooks.
 	txBytes     uint64 // cumulative bytes that completed serialization

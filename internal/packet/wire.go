@@ -72,9 +72,9 @@ func EncodeHop(h IntHop) (WireHop, error) {
 	if err != nil {
 		return 0, err
 	}
-	tsNs := uint64(h.TS/1000) % tsWrap            // ps -> ns, wrapped
-	tx := (h.TxBytes / wireTxUnitBytes) % txWrap  // 64B units, wrapped
-	q := uint64(h.QLen) / wireQUnitBytes          // 64B units, saturated
+	tsNs := uint64(h.TS/1000) % tsWrap           // ps -> ns, wrapped
+	tx := (h.TxBytes / wireTxUnitBytes) % txWrap // 64B units, wrapped
+	q := uint64(h.QLen) / wireQUnitBytes         // 64B units, saturated
 	if q > qMax {
 		q = qMax
 	}

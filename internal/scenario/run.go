@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Result is one executed scenario: its provenance (normalized spec + hash)
+// and a flat scalar metric map that aggregates and exports trivially.
+type Result struct {
+	Spec    Spec               `json:"spec"`
+	Hash    string             `json:"hash"`
+	Metrics map[string]float64 `json:"metrics"`
+	// Cached reports whether the harness served this result from its disk
+	// cache instead of simulating.
+	Cached bool `json:"-"`
+}
+
+// MetricNames returns the result's metric keys sorted.
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// knownMetrics indexes every metric any kind can emit; Validate rejects
+// Collect entries outside it.
+var knownMetrics = map[string]bool{
+	"queue_peak_bytes": true, "mean_util": true, "pause_frames": true,
+	"resume_frames": true, "drops": true, "first_slowdown_us": true,
+	"lhcs_triggers": true, "jain_all_active": true, "duration_us": true,
+	"completed": true, "generated": true, "offered_load": true,
+	"slowdown_avg": true, "slowdown_median": true, "slowdown_p95": true,
+	"slowdown_p99": true, "all_done_us": true, "jain_min": true,
+	"makespan_us": true, "completed_all": true, "burst_flows": true,
+}
+
+// BuildScheme constructs the named scheme with parameter overrides applied.
+// Supported keys: alpha, beta, lhcs (0/1), table_update_us for the FNCC
+// variants; eta, max_stage, wai_bytes, min_wnd_bytes for FNCC variants and
+// HPCC. Other schemes accept no overrides.
+func BuildScheme(name string, over map[string]float64) (netsim.Scheme, error) {
+	if len(over) == 0 {
+		return exp.NewScheme(name)
+	}
+	switch name {
+	case exp.SchemeFNCC, exp.SchemeFNCCNoLHCS:
+		cfg := core.DefaultConfig()
+		if name == exp.SchemeFNCCNoLHCS {
+			cfg.EnableLHCS = false
+		}
+		for k, v := range over {
+			switch k {
+			case "alpha":
+				cfg.Alpha = v
+			case "beta":
+				cfg.Beta = v
+			case "lhcs":
+				cfg.EnableLHCS = v != 0
+			case "table_update_us":
+				cfg.TableUpdatePeriod = sim.Time(v * float64(sim.Microsecond))
+			default:
+				if err := applyHPCCOverride(&cfg.HPCC, k, v); err != nil {
+					return netsim.Scheme{}, err
+				}
+			}
+		}
+		s := core.NewScheme(cfg)
+		s.Name = name
+		return s, nil
+	case exp.SchemeHPCC:
+		cfg := cc.DefaultHPCCConfig()
+		for k, v := range over {
+			if err := applyHPCCOverride(&cfg, k, v); err != nil {
+				return netsim.Scheme{}, err
+			}
+		}
+		return cc.NewHPCCScheme(cfg), nil
+	default:
+		// Reject overrides rather than silently running defaults.
+		if _, err := exp.NewScheme(name); err != nil {
+			return netsim.Scheme{}, err
+		}
+		return netsim.Scheme{}, fmt.Errorf("scenario: scheme %q accepts no cc overrides", name)
+	}
+}
+
+func applyHPCCOverride(cfg *cc.HPCCConfig, k string, v float64) error {
+	switch k {
+	case "eta":
+		cfg.Eta = v
+	case "max_stage":
+		cfg.MaxStage = int(v)
+	case "wai_bytes":
+		cfg.WaiBytes = v
+	case "min_wnd_bytes":
+		cfg.MinWndBytes = v
+	default:
+		return fmt.Errorf("scenario: unknown cc override %q", k)
+	}
+	return nil
+}
+
+// schemeBuilder adapts a spec's scheme+overrides to the exp injection point.
+func schemeBuilder(sp Spec) exp.SchemeBuilder {
+	if len(sp.CC) == 0 {
+		return nil // let the runner use its registry default
+	}
+	return func() (netsim.Scheme, error) { return BuildScheme(sp.Scheme, sp.CC) }
+}
+
+// Run validates, normalizes and executes one scenario.
+func Run(sp Spec) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	n := sp.Normalized()
+	var (
+		m   map[string]float64
+		err error
+	)
+	switch n.Kind {
+	case KindMicro:
+		m, err = runMicro(n)
+	case KindHop:
+		m, err = runHop(n)
+	case KindFairness:
+		m, err = runFairness(n)
+	case KindFCT:
+		m, err = runFCT(n)
+	case KindIncast:
+		m, err = runIncast(n)
+	case KindPermutation:
+		m, err = runPermutation(n)
+	case KindAllToAll:
+		m, err = runAllToAll(n)
+	case KindMixed:
+		m, err = runMixed(n)
+	default:
+		err = fmt.Errorf("scenario: unknown kind %q", n.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s/%s: %w", n.Kind, n.Scheme, err)
+	}
+	if len(n.Collect) > 0 {
+		keep := make(map[string]float64, len(n.Collect))
+		for _, k := range n.Collect {
+			if v, ok := m[k]; ok {
+				keep[k] = v
+			}
+		}
+		m = keep
+	}
+	return &Result{Spec: n, Hash: n.Hash(), Metrics: m}, nil
+}
+
+func runMicro(sp Spec) (map[string]float64, error) {
+	cfg := exp.DefaultMicroConfig(sp.Scheme, sp.Topo.RateBps())
+	cfg.Senders = sp.Topo.Senders
+	cfg.Duration = sp.Duration()
+	cfg.MakeScheme = schemeBuilder(sp)
+	r, err := exp.RunMicro(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"queue_peak_bytes":  r.QueuePeak,
+		"mean_util":         r.MeanUtil,
+		"pause_frames":      float64(r.PauseFrames),
+		"resume_frames":     float64(r.ResumeFrames),
+		"drops":             float64(r.Drops),
+		"first_slowdown_us": timeUs(r.FirstSlowdown),
+	}, nil
+}
+
+func runHop(sp Spec) (map[string]float64, error) {
+	cfg := exp.DefaultHopConfig(sp.Scheme, exp.HopPosition(sp.Hop))
+	cfg.RateBps = sp.Topo.RateBps()
+	cfg.Duration = sp.Duration()
+	cfg.MakeScheme = schemeBuilder(sp)
+	r, err := exp.RunHop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"queue_peak_bytes": r.QueuePeak,
+		"mean_util":        r.MeanUtil,
+		"lhcs_triggers":    float64(r.LHCSTriggers),
+	}, nil
+}
+
+func runFairness(sp Spec) (map[string]float64, error) {
+	cfg := exp.DefaultFairnessConfig(sp.Scheme)
+	cfg.Senders = sp.Topo.Senders
+	cfg.RateBps = sp.Topo.RateBps()
+	cfg.Stagger = sim.Time(sp.Workload.StaggerUs) * sim.Microsecond
+	cfg.MakeScheme = schemeBuilder(sp)
+	r, err := exp.RunFairness(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"jain_all_active": r.JainAllActive,
+		"duration_us":     timeUs(r.Duration),
+	}, nil
+}
+
+func runFCT(sp Spec) (map[string]float64, error) {
+	cfg := exp.FCTConfig{
+		Scheme:      sp.Scheme,
+		K:           sp.Topo.K,
+		RateBps:     sp.Topo.RateBps(),
+		Workload:    sp.Workload.CDF,
+		Load:        sp.Load,
+		Horizon:     sp.Duration(),
+		DrainFactor: 10,
+		Seed:        sp.Seed,
+		CoreRateBps: sp.Topo.CoreRateBps(),
+		MakeScheme:  schemeBuilder(sp),
+	}
+	r, err := exp.RunFCT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]float64{
+		"completed":    float64(r.Completed),
+		"generated":    float64(r.Generated),
+		"offered_load": r.OfferedLoad,
+		"pause_frames": float64(r.PauseFrames),
+		"drops":        float64(r.Drops),
+	}
+	slowdownMetrics(m, r.Collector)
+	return m, nil
+}
+
+func runIncast(sp Spec) (map[string]float64, error) {
+	cfg := exp.DefaultIncastConfig(sp.Scheme)
+	cfg.Fanout = sp.Workload.Fanout
+	cfg.BytesPerSender = sp.Workload.FlowBytes
+	cfg.RateBps = sp.Topo.RateBps()
+	cfg.Deadline = sp.Duration()
+	cfg.MakeScheme = schemeBuilder(sp)
+	r, err := exp.RunIncast(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"queue_peak_bytes": float64(r.QueuePeak),
+		"pause_frames":     float64(r.PauseFrames),
+		"all_done_us":      timeUs(r.AllDoneAt),
+		"jain_min":         r.JainFinalRates,
+		"lhcs_triggers":    float64(r.LHCSTriggers),
+	}, nil
+}
+
+// slowdownMetrics folds a collector's whole-range slowdown distribution into
+// the metric map.
+func slowdownMetrics(m map[string]float64, col *metrics.FCTCollector) {
+	d := col.SlowdownDist(0, math.MaxInt64)
+	if d.N() == 0 {
+		return
+	}
+	m["slowdown_avg"] = d.Mean()
+	m["slowdown_median"] = d.Median()
+	m["slowdown_p95"] = d.P95()
+	m["slowdown_p99"] = d.P99()
+}
+
+// timeUs renders a simulation time in microseconds, passing through the -1
+// "never" sentinel.
+func timeUs(t sim.Time) float64 {
+	if t < 0 {
+		return -1
+	}
+	return float64(t) / float64(sim.Microsecond)
+}

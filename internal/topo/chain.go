@@ -175,8 +175,8 @@ func idealFCT(size int64, links int, rate int64, delay sim.Time, cfg *netsim.Con
 	nPkts := (size + payload - 1) / payload
 	wire := size + nPkts*int64(packet.DataHeaderBytes)
 	lastPkt := size - (nPkts-1)*payload + int64(packet.DataHeaderBytes)
-	t := sim.TxTime(int(wire), rate)                            // source serialization
-	t += sim.Time(links-1) * sim.TxTime(int(lastPkt), rate)     // per-hop store-and-forward
-	t += sim.Time(links) * delay                                // propagation
+	t := sim.TxTime(int(wire), rate)                        // source serialization
+	t += sim.Time(links-1) * sim.TxTime(int(lastPkt), rate) // per-hop store-and-forward
+	t += sim.Time(links) * delay                            // propagation
 	return t
 }

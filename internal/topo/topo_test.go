@@ -12,15 +12,15 @@ import (
 // fixedScheme gives the topology tests a CC-free substrate.
 type fixedCC struct{ rate int64 }
 
-func (c *fixedCC) Name() string                          { return "fixed" }
+func (c *fixedCC) Name() string                                 { return "fixed" }
 func (c *fixedCC) OnAck(*netsim.Flow, *packet.Packet, sim.Time) {}
-func (c *fixedCC) OnCnp(*netsim.Flow, sim.Time)          {}
-func (c *fixedCC) WindowBytes() int64                    { return 1 << 40 }
-func (c *fixedCC) RateBps() int64                        { return c.rate }
+func (c *fixedCC) OnCnp(*netsim.Flow, sim.Time)                 {}
+func (c *fixedCC) WindowBytes() int64                           { return 1 << 40 }
+func (c *fixedCC) RateBps() int64                               { return c.rate }
 
 type plainReceiver struct{}
 
-func (plainReceiver) FillAck(ack, data *packet.Packet, _ *netsim.Host)      {}
+func (plainReceiver) FillAck(ack, data *packet.Packet, _ *netsim.Host)    {}
 func (plainReceiver) WantCnp(*packet.Packet, *netsim.Host, sim.Time) bool { return false }
 
 func fixedScheme(rate int64) netsim.Scheme {
@@ -206,8 +206,8 @@ func TestFatTreeECMPSpreadsLoad(t *testing.T) {
 	// Many cross-pod flows should use more than one core switch.
 	ft := MustFatTree(netsim.DefaultConfig(), fixedScheme(100e9), FatTreeOpts{K: 4, RateBps: 100e9, Delay: sim.Microsecond})
 	for i := 0; i < 24; i++ {
-		src := i % 4        // pod 0
-		dst := 8 + (i % 8)  // pod 2+
+		src := i % 4       // pod 0
+		dst := 8 + (i % 8) // pod 2+
 		ft.AddFlow(uint64(i+1), src, dst, 30_000, 0)
 	}
 	ft.Net.RunUntil(20 * sim.Millisecond)

@@ -28,10 +28,10 @@ func TestParseCDF(t *testing.T) {
 
 func TestParseCDFErrors(t *testing.T) {
 	cases := []string{
-		"6000 0\n10000",            // missing column
-		"abc 0\n10000 1",           // bad size
-		"6000 zero\n10000 1",       // bad probability
-		"6000 0\n10000 0.9",        // does not end at 1
+		"6000 0\n10000",                  // missing column
+		"abc 0\n10000 1",                 // bad size
+		"6000 zero\n10000 1",             // bad probability
+		"6000 0\n10000 0.9",              // does not end at 1
 		"6000 0.5\n10000 0.2\n2000000 1", // decreasing cum
 	}
 	for i, in := range cases {
