@@ -1,0 +1,145 @@
+// Command benchguard turns `go test -bench -benchmem` output into a
+// machine-readable perf snapshot and enforces allocation budgets, so CI
+// fails when a change regresses the allocation-free hot paths.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | tee bench.txt
+//	go run ./cmd/benchguard -in bench.txt -out BENCH_2.json \
+//	    -max BenchmarkEngineScheduleFire=0 -max BenchmarkOneHopForward=0
+//
+// Each -max NAME=N asserts the named benchmark reports at most N allocs/op;
+// a named benchmark missing from the input is also an error (a silently
+// skipped guard is a disabled guard). The JSON output is one object per
+// benchmark keyed by name (CPU-count suffix stripped), suitable for
+// committing as the perf-trajectory point of a PR.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one benchmark's parsed result.
+type Point struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches "BenchmarkName-8  123  45.6 ns/op  7 B/op  8 allocs/op";
+// the -benchmem columns are optional so plain -bench output still parses.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+type maxFlags map[string]int64
+
+func (m maxFlags) String() string { return fmt.Sprint(map[string]int64(m)) }
+
+func (m maxFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=ALLOCS, got %q", s)
+	}
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad allocs bound %q: %w", val, err)
+	}
+	m[name] = n
+	return nil
+}
+
+func parse(r io.Reader) (map[string]Point, error) {
+	out := map[string]Point{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		match := benchLine.FindStringSubmatch(sc.Text())
+		if match == nil {
+			continue
+		}
+		p := Point{}
+		p.Iterations, _ = strconv.ParseInt(match[2], 10, 64)
+		p.NsPerOp, _ = strconv.ParseFloat(match[3], 64)
+		if match[4] != "" {
+			p.BytesPerOp, _ = strconv.ParseInt(match[4], 10, 64)
+			p.AllocsPerOp, _ = strconv.ParseInt(match[5], 10, 64)
+		}
+		out[match[1]] = p
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON snapshot to write (default: none)")
+	limits := maxFlags{}
+	flag.Var(limits, "max", "NAME=ALLOCS allocs/op budget; repeatable")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	points, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(points) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	names := make([]string, 0, len(limits))
+	for name := range limits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		budget := limits[name]
+		p, ok := points[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from input (guard cannot run)\n", name)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if p.AllocsPerOp > budget {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %8.1f ns/op %6d allocs/op (budget %d) %s\n",
+			name, p.NsPerOp, p.AllocsPerOp, budget, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/packet"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -72,6 +73,22 @@ type (
 	Mesh = topo.Mesh
 	// MeshOpts parameterizes BuildMesh.
 	MeshOpts = topo.MeshOpts
+)
+
+// Hot-path performance telemetry. The simulation core is allocation-free in
+// steady state: events recycle through an engine-owned slot pool and frames
+// through a per-network packet pool. These counters quantify both, and
+// every experiment result and sweep row carries them (engine_events,
+// pool_hit_rate, mallocs_per_run...), so perf regressions show up in the
+// same tables as the modelled metrics.
+type (
+	// EngineStats is the event scheduler's throughput/pool telemetry.
+	EngineStats = sim.EngineStats
+	// PacketPoolStats is the packet pool's hit-rate telemetry.
+	PacketPoolStats = packet.PoolStats
+	// PerfStats is one run's combined simulator-performance record,
+	// attached to every experiment result.
+	PerfStats = exp.PerfStats
 )
 
 // Metrics types surfaced by the runners.

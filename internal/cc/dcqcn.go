@@ -59,9 +59,10 @@ func DefaultDCQCNConfig() DCQCNConfig {
 // the first CNP, 55 us timers, 40 Mbps additive steps) is exactly what
 // Figs 1, 3, 9, 14 and 15 of the paper exhibit.
 type DCQCN struct {
-	cfg DCQCNConfig
-	eng *sim.Engine
-	b   int64 // line rate
+	cfg  DCQCNConfig
+	eng  *sim.Engine
+	flow *netsim.Flow
+	b    int64 // line rate
 
 	rc, rt     float64 // current and target rates, bps
 	alpha      float64
@@ -70,8 +71,8 @@ type DCQCN struct {
 	acked      int64 // bytes acknowledged since the last byte-counter event
 	lastAckSeq int64
 
-	alphaEv *sim.Event
-	incEv   *sim.Event
+	alphaEv sim.Event
+	incEv   sim.Event
 	done    bool
 }
 
@@ -80,6 +81,7 @@ func NewDCQCN(cfg DCQCNConfig, f *netsim.Flow) *DCQCN {
 	d := &DCQCN{
 		cfg:   cfg,
 		eng:   f.SrcHost.Net().Eng,
+		flow:  f,
 		b:     f.SrcHost.Port().RateBps(),
 		alpha: 1,
 	}
@@ -131,40 +133,45 @@ func (d *DCQCN) OnCnp(f *netsim.Flow, now sim.Time) {
 	d.alpha = (1-d.cfg.G)*d.alpha + d.cfg.G
 	d.byteStage, d.timeStage = 0, 0
 	d.acked = 0
-	d.armAlphaTimer(f)
-	d.armIncTimer(f)
+	d.armAlphaTimer()
+	d.armIncTimer()
+}
+
+// dcqcnAlphaFired is the alpha-decay callback (arg-passing path: the timer
+// re-arms every period without allocating a closure).
+func dcqcnAlphaFired(v any) {
+	d := v.(*DCQCN)
+	d.alphaEv = sim.Event{}
+	if d.done || d.flow.Finished() {
+		return
+	}
+	d.alpha *= 1 - d.cfg.G
+	d.armAlphaTimer()
 }
 
 // armAlphaTimer restarts alpha decay: with no CNP for AlphaTimer,
 // alpha <- (1-g)alpha, repeatedly.
-func (d *DCQCN) armAlphaTimer(f *netsim.Flow) {
-	if d.alphaEv != nil {
-		d.eng.Cancel(d.alphaEv)
+func (d *DCQCN) armAlphaTimer() {
+	d.eng.Cancel(d.alphaEv)
+	d.alphaEv = d.eng.AfterArg(d.cfg.AlphaTimer, dcqcnAlphaFired, d)
+}
+
+// dcqcnIncFired is the periodic rate-increase callback.
+func dcqcnIncFired(v any) {
+	d := v.(*DCQCN)
+	d.incEv = sim.Event{}
+	if d.done || d.flow.Finished() {
+		return
 	}
-	d.alphaEv = d.eng.After(d.cfg.AlphaTimer, func() {
-		d.alphaEv = nil
-		if d.done || f.Finished() {
-			return
-		}
-		d.alpha *= 1 - d.cfg.G
-		d.armAlphaTimer(f)
-	})
+	d.timeStage++
+	d.increase()
+	d.armIncTimer()
 }
 
 // armIncTimer restarts the periodic rate-increase timer.
-func (d *DCQCN) armIncTimer(f *netsim.Flow) {
-	if d.incEv != nil {
-		d.eng.Cancel(d.incEv)
-	}
-	d.incEv = d.eng.After(d.cfg.IncTimer, func() {
-		d.incEv = nil
-		if d.done || f.Finished() {
-			return
-		}
-		d.timeStage++
-		d.increase()
-		d.armIncTimer(f)
-	})
+func (d *DCQCN) armIncTimer() {
+	d.eng.Cancel(d.incEv)
+	d.incEv = d.eng.AfterArg(d.cfg.IncTimer, dcqcnIncFired, d)
 }
 
 // increase applies one rate-increase event: fast recovery while both stage
@@ -187,14 +194,10 @@ func (d *DCQCN) increase() {
 
 func (d *DCQCN) stopTimers() {
 	d.done = true
-	if d.alphaEv != nil {
-		d.eng.Cancel(d.alphaEv)
-		d.alphaEv = nil
-	}
-	if d.incEv != nil {
-		d.eng.Cancel(d.incEv)
-		d.incEv = nil
-	}
+	d.eng.Cancel(d.alphaEv)
+	d.alphaEv = sim.Event{}
+	d.eng.Cancel(d.incEv)
+	d.incEv = sim.Event{}
 }
 
 // dcqcnReceiver emits paced CNPs for ECN-marked arrivals; ACKs carry no INT.
@@ -265,8 +268,8 @@ func NewDCQCNScheme(cfg DCQCNConfig) netsim.Scheme {
 			// Timers run from flow start; the engine is positioned before
 			// Start when flows are added, so arm lazily at first event.
 			f.SrcHost.Net().Eng.Schedule(f.Start, func() {
-				d.armAlphaTimer(f)
-				d.armIncTimer(f)
+				d.armAlphaTimer()
+				d.armIncTimer()
 			})
 			return d
 		},

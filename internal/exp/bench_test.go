@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMicroSteadyState runs the complete §5.1 micro-benchmark — build,
+// 400 us of simulated congestion, teardown — once per iteration. Unlike the
+// engine/forwarding benches this includes all per-run setup, so allocs/op
+// is the whole run's allocation budget; the pooling work cut it from
+// ~125k to well under 5k per run (see BENCH_2.json for the pinned point).
+func BenchmarkMicroSteadyState(b *testing.B) {
+	cfg := DefaultMicroConfig(SchemeFNCC, 100e9)
+	cfg.Duration = 400 * sim.Microsecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunMicro(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.QueuePeak <= 0 {
+			b.Fatal("no queue buildup: benchmark not exercising the hot path")
+		}
+	}
+}
+
+// BenchmarkFCTFatTree is the harness-scale data point: a k=4 fat-tree under
+// Poisson load, the per-sweep-point unit of cmd/fnccbench.
+func BenchmarkFCTFatTree(b *testing.B) {
+	cfg := DefaultFCTConfig(SchemeFNCC, "websearch")
+	cfg.K = 4
+	cfg.Horizon = 500 * sim.Microsecond
+	cfg.DrainFactor = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFCT(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

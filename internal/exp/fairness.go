@@ -50,6 +50,8 @@ type FairnessResult struct {
 	JainAllActive float64
 	// Duration is the total simulated span.
 	Duration sim.Time
+	// Perf is the run's simulator-performance telemetry.
+	Perf PerfStats
 }
 
 // RunFairness executes the experiment.
@@ -57,6 +59,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	if cfg.Senders < 2 {
 		return nil, fmt.Errorf("exp: fairness needs >= 2 senders")
 	}
+	probe := BeginPerf()
 	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
@@ -117,6 +120,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	if jainN > 0 {
 		res.JainAllActive = jainSum / float64(jainN)
 	}
+	res.Perf = probe.End(c.Net)
 	return res, nil
 }
 

@@ -104,10 +104,13 @@ type FCTResult struct {
 	// PauseFrames, Drops: fabric counters for the run.
 	PauseFrames int64
 	Drops       int64
+	// Perf is the run's simulator-performance telemetry.
+	Perf PerfStats
 }
 
 // RunFCT executes one (scheme, seed) large-scale run.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	probe := BeginPerf()
 	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
@@ -158,6 +161,7 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		PauseFrames: ft.Net.PauseFrames.N,
 		Drops:       ft.Net.Drops.N,
 	}
+	res.Perf = probe.End(ft.Net)
 	return res, nil
 }
 

@@ -66,10 +66,13 @@ type HopResult struct {
 	MeanUtil float64
 	// LHCSTriggers counts Algorithm 2 firings on flow 0 (FNCC only).
 	LHCSTriggers int64
+	// Perf is the run's simulator-performance telemetry.
+	Perf PerfStats
 }
 
 // RunHop executes one hop-location experiment.
 func RunHop(cfg HopConfig) (*HopResult, error) {
+	probe := BeginPerf()
 	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
@@ -124,6 +127,7 @@ func RunHop(cfg HopConfig) (*HopResult, error) {
 	if lh, ok := lhcsTriggersOf(f0); ok {
 		res.LHCSTriggers = lh
 	}
+	res.Perf = probe.End(c.Net)
 	return res, nil
 }
 

@@ -54,6 +54,8 @@ type IncastResult struct {
 	JainFinalRates float64
 	// LHCSTriggers totals Algorithm 2 firings across senders (FNCC only).
 	LHCSTriggers int64
+	// Perf is the run's simulator-performance telemetry.
+	Perf PerfStats
 }
 
 // RunIncast executes the burst.
@@ -61,6 +63,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	if cfg.Fanout < 2 {
 		return nil, fmt.Errorf("exp: incast needs fanout >= 2")
 	}
+	probe := BeginPerf()
 	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
@@ -117,6 +120,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 			res.LHCSTriggers += lh
 		}
 	}
+	res.Perf = probe.End(c.Net)
 	return res, nil
 }
 

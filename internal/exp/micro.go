@@ -71,6 +71,8 @@ type MicroResult struct {
 	// MeanUtil is the average bottleneck utilization from Flow1Start to the
 	// end of the window.
 	MeanUtil float64
+	// Perf is the run's simulator-performance telemetry.
+	Perf PerfStats
 }
 
 // RunMicro executes the micro-benchmark for one scheme.
@@ -78,6 +80,7 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	if cfg.Senders < 2 {
 		return nil, fmt.Errorf("exp: micro needs >= 2 senders")
 	}
+	probe := BeginPerf()
 	scheme, err := buildScheme(cfg.Scheme, cfg.MakeScheme)
 	if err != nil {
 		return nil, err
@@ -134,6 +137,7 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	res.Drops = c.Net.Drops.N
 	res.QueuePeak = res.Queue.Max()
 	res.MeanUtil = res.Util.MeanIn(cfg.Flow1Start, cfg.Duration)
+	res.Perf = probe.End(c.Net)
 	return res, nil
 }
 

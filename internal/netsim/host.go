@@ -35,7 +35,8 @@ type Flow struct {
 	sndUna     int64
 	nextSendAt sim.Time
 	finished   bool
-	retxEv     *sim.Event
+	retxEv     sim.Event
+	retxSnap   int64 // sndUna when the retx timer was armed
 
 	// Receiver state.
 	credited int64 // bytes granted by receiver credits (credit schemes)
@@ -88,7 +89,7 @@ type Host struct {
 
 	activeInbound int // live inbound QPs: FNCC's N (Observation 4)
 
-	pacerEv *sim.Event
+	pacerEv sim.Event
 }
 
 // ID implements Node.
@@ -120,7 +121,9 @@ func (h *Host) ActiveInbound() int { return h.activeInbound }
 // state such as DCQCN's CNP timer.
 func (h *Host) InboundFlow(id uint64) *Flow { return h.inbound[id] }
 
-// Receive implements Node.
+// Receive implements Node. A host terminates every frame type it accepts,
+// so it is a packet sink: each arm releases pkt to the pool once the
+// handlers (which may read but must not retain it) return.
 func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	switch pkt.Type {
 	case packet.PfcPause:
@@ -146,6 +149,7 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	default:
 		panic(fmt.Sprintf("netsim: host %d received %v", h.id, pkt.Type))
 	}
+	h.net.Pool.Put(pkt)
 }
 
 // handleData runs the receiver side: in-order delivery, go-back-N NACKs,
@@ -161,13 +165,13 @@ func (h *Host) handleData(d *packet.Packet) {
 	// DCQCN: every ECN-marked arrival may elicit a CNP, paced by the
 	// receiver CC.
 	if d.ECN && h.net.Scheme.Receiver.WantCnp(d, h, now) {
-		h.sendControl(&packet.Packet{
-			Type: packet.Cnp, FlowID: f.ID,
-			Src: h.id, Dst: f.SrcHost.id,
-			SrcPort: f.DstPort, DstPort: f.SrcPort,
-			Class:    f.Class,
-			SendTime: now,
-		})
+		cnp := h.net.Pool.Get()
+		cnp.Type, cnp.FlowID = packet.Cnp, f.ID
+		cnp.Src, cnp.Dst = h.id, f.SrcHost.id
+		cnp.SrcPort, cnp.DstPort = f.DstPort, f.SrcPort
+		cnp.Class = f.Class
+		cnp.SendTime = now
+		h.sendControl(cnp)
 	}
 
 	switch {
@@ -203,14 +207,13 @@ func (h *Host) handleData(d *packet.Packet) {
 // sendAck emits a cumulative ACK or NACK for flow f, letting the scheme's
 // receiver fill its fields (INT echo, N, fair rate).
 func (h *Host) sendAck(f *Flow, data *packet.Packet, typ packet.Type) {
-	ack := &packet.Packet{
-		Type: typ, FlowID: f.ID,
-		Src: h.id, Dst: f.SrcHost.id,
-		SrcPort: f.DstPort, DstPort: f.SrcPort,
-		Seq:      f.rcvNxt,
-		Class:    f.Class,
-		SendTime: h.net.Eng.Now(),
-	}
+	ack := h.net.Pool.Get()
+	ack.Type, ack.FlowID = typ, f.ID
+	ack.Src, ack.Dst = h.id, f.SrcHost.id
+	ack.SrcPort, ack.DstPort = f.DstPort, f.SrcPort
+	ack.Seq = f.rcvNxt
+	ack.Class = f.Class
+	ack.SendTime = h.net.Eng.Now()
 	h.net.Scheme.Receiver.FillAck(ack, data, h)
 	h.sendControl(ack)
 }
@@ -224,14 +227,14 @@ func (h *Host) sendControl(pkt *packet.Packet) {
 // SendCredit emits a receiver-driven transmission grant for inbound flow f
 // (ExpressPass-style schemes; see netsim.CreditPacer).
 func (h *Host) SendCredit(f *Flow, bytes int) {
-	h.sendControl(&packet.Packet{
-		Type: packet.Credit, FlowID: f.ID,
-		Src: h.id, Dst: f.SrcHost.id,
-		SrcPort: f.DstPort, DstPort: f.SrcPort,
-		PayloadBytes: bytes,
-		Class:        f.Class,
-		SendTime:     h.net.Eng.Now(),
-	})
+	cr := h.net.Pool.Get()
+	cr.Type, cr.FlowID = packet.Credit, f.ID
+	cr.Src, cr.Dst = h.id, f.SrcHost.id
+	cr.SrcPort, cr.DstPort = f.DstPort, f.SrcPort
+	cr.PayloadBytes = bytes
+	cr.Class = f.Class
+	cr.SendTime = h.net.Eng.Now()
+	h.sendControl(cr)
 }
 
 // handleAck runs the sender side on ACK/NACK arrival.
@@ -262,10 +265,8 @@ func (h *Host) handleAck(a *packet.Packet) {
 
 	if f.sndUna >= f.SizeBytes && !f.finished {
 		f.finished = true
-		if f.retxEv != nil {
-			h.net.Eng.Cancel(f.retxEv)
-			f.retxEv = nil
-		}
+		h.net.Eng.Cancel(f.retxEv)
+		f.retxEv = sim.Event{}
 	} else if progressed {
 		h.armRetx(f)
 	}
@@ -298,7 +299,7 @@ func (h *Host) trySend() {
 		if f.finished || f.sndNxt >= f.SizeBytes {
 			continue
 		}
-		if p.ClassPaused(p.class(&packet.Packet{Class: f.Class})) {
+		if p.ClassPaused(p.classIndex(f.Class)) {
 			continue // this service level is PFC-paused; others may go
 		}
 		seg := int64(payload)
@@ -325,15 +326,14 @@ func (h *Host) trySend() {
 
 // sendSegment injects one data segment of flow f.
 func (h *Host) sendSegment(f *Flow, payload int, now sim.Time) {
-	pkt := &packet.Packet{
-		Type: packet.Data, FlowID: f.ID,
-		Src: h.id, Dst: f.DstHost.id,
-		SrcPort: f.SrcPort, DstPort: f.DstPort,
-		Seq: f.sndNxt, PayloadBytes: payload,
-		Last:     f.sndNxt+int64(payload) >= f.SizeBytes,
-		Class:    f.Class,
-		SendTime: now,
-	}
+	pkt := h.net.Pool.Get()
+	pkt.Type, pkt.FlowID = packet.Data, f.ID
+	pkt.Src, pkt.Dst = h.id, f.DstHost.id
+	pkt.SrcPort, pkt.DstPort = f.SrcPort, f.DstPort
+	pkt.Seq, pkt.PayloadBytes = f.sndNxt, payload
+	pkt.Last = f.sndNxt+int64(payload) >= f.SizeBytes
+	pkt.Class = f.Class
+	pkt.SendTime = now
 	f.sndNxt += int64(payload)
 
 	// Pace the next packet at the CC rate, clamped to the line rate.
@@ -346,24 +346,44 @@ func (h *Host) sendSegment(f *Flow, payload int, now sim.Time) {
 	}
 	f.nextSendAt = now + sim.TxTime(pkt.SizeBytes(), rate)
 
-	if f.retxEv == nil {
+	if !f.retxEv.Pending() {
 		h.armRetx(f)
 	}
 	h.port.enqueue(pkt)
 }
 
+// hostPacerFired is the pacing wakeup callback (arg-passing schedule path:
+// no closure per wakeup).
+func hostPacerFired(v any) {
+	h := v.(*Host)
+	h.pacerEv = sim.Event{}
+	h.trySend()
+}
+
 // armPacer (re)schedules the host's single pacing wakeup.
 func (h *Host) armPacer(at sim.Time) {
-	if h.pacerEv != nil && !h.pacerEv.Canceled() && h.pacerEv.At() <= at && h.pacerEv.At() >= h.net.Eng.Now() {
+	if h.pacerEv.Pending() && h.pacerEv.At() <= at {
 		return // an earlier-or-equal wakeup is already pending
 	}
-	if h.pacerEv != nil {
-		h.net.Eng.Cancel(h.pacerEv)
+	h.net.Eng.Cancel(h.pacerEv)
+	h.pacerEv = h.net.Eng.ScheduleArg(at, hostPacerFired, h)
+}
+
+// flowRetxFired is the go-back-N backstop callback: rewind to the last
+// cumulative ACK if nothing progressed for a full RTO.
+func flowRetxFired(v any) {
+	f := v.(*Flow)
+	h := f.SrcHost
+	f.retxEv = sim.Event{}
+	if f.finished {
+		return
 	}
-	h.pacerEv = h.net.Eng.Schedule(at, func() {
-		h.pacerEv = nil
+	if f.sndUna == f.retxSnap && f.Inflight() > 0 {
+		// No progress for a full RTO with data outstanding: rewind.
+		f.sndNxt = f.sndUna
 		h.trySend()
-	})
+	}
+	h.armRetx(f)
 }
 
 // armRetx (re)arms the go-back-N backstop timer for f.
@@ -372,20 +392,7 @@ func (h *Host) armRetx(f *Flow) {
 	if cfg.RetxTimeout <= 0 || f.finished {
 		return
 	}
-	if f.retxEv != nil {
-		h.net.Eng.Cancel(f.retxEv)
-	}
-	snap := f.sndUna
-	f.retxEv = h.net.Eng.After(cfg.RetxTimeout, func() {
-		f.retxEv = nil
-		if f.finished {
-			return
-		}
-		if f.sndUna == snap && f.Inflight() > 0 {
-			// No progress for a full RTO with data outstanding: rewind.
-			f.sndNxt = f.sndUna
-			h.trySend()
-		}
-		h.armRetx(f)
-	})
+	h.net.Eng.Cancel(f.retxEv)
+	f.retxSnap = f.sndUna
+	f.retxEv = h.net.Eng.AfterArg(cfg.RetxTimeout, flowRetxFired, f)
 }

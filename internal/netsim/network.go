@@ -13,6 +13,9 @@ import (
 // Connect -> SetRoute -> AddFlow -> Run.
 type Network struct {
 	Eng *sim.Engine
+	// Pool recycles packets across the fabric. Single-threaded like the
+	// engine; see the ownership rules on packet.Pool.
+	Pool *packet.Pool
 	// Rand is the fabric's deterministic random source (WRED marking);
 	// derived from Cfg.Seed.
 	Rand   *sim.RNG
@@ -80,6 +83,7 @@ func New(cfg Config, scheme Scheme) (*Network, error) {
 	}
 	return &Network{
 		Eng:         sim.NewEngine(),
+		Pool:        packet.NewPool(),
 		Rand:        sim.NewRNG(cfg.Seed),
 		Cfg:         cfg,
 		Scheme:      scheme,
@@ -179,15 +183,22 @@ func (n *Network) AddFlow(id uint64, src, dst *Host, size int64, start sim.Time)
 	}
 	src.byID[id] = f
 	n.flows = append(n.flows, f)
-	n.Eng.Schedule(start, func() {
-		dst.inbound[id] = f
-		dst.activeInbound++
-		if pacer, ok := n.Scheme.Receiver.(CreditPacer); ok {
-			pacer.OnInboundStart(f, dst)
-		}
-		src.startFlow(f)
-	})
+	n.Eng.ScheduleArg(start, flowStart, f)
 	return f
+}
+
+// flowStart activates a flow at its start time: the QP becomes live at both
+// ends and the sender is kicked.
+func flowStart(v any) {
+	f := v.(*Flow)
+	src, dst := f.SrcHost, f.DstHost
+	n := src.net
+	dst.inbound[f.ID] = f
+	dst.activeInbound++
+	if pacer, ok := n.Scheme.Receiver.(CreditPacer); ok {
+		pacer.OnInboundStart(f, dst)
+	}
+	src.startFlow(f)
 }
 
 // flowCompleted records receiver-side completion.

@@ -36,6 +36,14 @@ type Port struct {
 	control     []*packet.Packet // PFC frames, transmitted first, never paused
 	busy        bool
 
+	// In-flight transmission state. txPkt is the frame occupying the
+	// transmitter (at most one); wire is the propagation FIFO — frames that
+	// finished serializing and are crossing the link, delivered in order
+	// because every frame on a link shares the same propagation delay.
+	txPkt  *packet.Packet
+	txSize int
+	wire   []*packet.Packet
+
 	// Telemetry, readable by INT hooks.
 	txBytes     uint64 // cumulative bytes that completed serialization
 	txDataBytes uint64 // cumulative data-only bytes (utilization accounting)
@@ -123,16 +131,20 @@ func Connect(a, b *Port, rateBps int64, delay sim.Time) {
 	a.delay, b.delay = delay, delay
 }
 
-// class returns the frame's priority, clamped to the configured levels
-// (frames from a misconfigured class land in the lowest priority rather
-// than corrupting memory).
-func (p *Port) class(pkt *packet.Packet) int {
-	c := int(pkt.Class)
-	if c >= len(p.queues) {
-		c = len(p.queues) - 1
+// classIndex clamps a class value to the configured levels (frames from a
+// misconfigured class land in the lowest priority rather than corrupting
+// memory). It takes the raw field so eligibility checks need not build a
+// throwaway packet.
+func (p *Port) classIndex(c uint8) int {
+	ci := int(c)
+	if ci >= len(p.queues) {
+		ci = len(p.queues) - 1
 	}
-	return c
+	return ci
 }
+
+// class returns the frame's clamped priority.
+func (p *Port) class(pkt *packet.Packet) int { return p.classIndex(pkt.Class) }
 
 // enqueue appends a frame to the appropriate egress lane and starts the
 // transmitter if idle.
@@ -232,21 +244,41 @@ func (p *Port) kick() {
 	}
 
 	size := pkt.SizeBytes()
-	txd := sim.TxTime(size, p.rate)
-	eng := p.net.Eng
-	eng.After(txd, func() {
-		p.busy = false
-		p.txBytes += uint64(size)
-		if pkt.Type == packet.Data {
-			p.txDataBytes += uint64(size)
-		}
-		peer := p.peer
-		eng.After(p.delay, func() {
-			peer.owner.Receive(pkt, peer.index)
-		})
-		p.kick()
-		if !p.busy && p.onIdle != nil {
-			p.onIdle(p)
-		}
-	})
+	p.txPkt = pkt
+	p.txSize = size
+	p.net.Eng.AfterArg(sim.TxTime(size, p.rate), portTxDone, p)
+}
+
+// portTxDone fires when the transmitter finishes serializing a frame: the
+// frame moves onto the wire (propagation FIFO), telemetry updates, and the
+// next eligible frame starts. Arg-passing callback — no closure per frame.
+func portTxDone(v any) {
+	p := v.(*Port)
+	pkt, size := p.txPkt, p.txSize
+	p.txPkt = nil
+	p.busy = false
+	p.txBytes += uint64(size)
+	if pkt.Type == packet.Data {
+		p.txDataBytes += uint64(size)
+	}
+	p.wire = append(p.wire, pkt)
+	p.net.Eng.AfterArg(p.delay, portDeliver, p)
+	p.kick()
+	if !p.busy && p.onIdle != nil {
+		p.onIdle(p)
+	}
+}
+
+// portDeliver completes a frame's link propagation: the oldest frame on the
+// wire reaches the peer. FIFO order is exact because serialization
+// completions are strictly ordered and the propagation delay is a link
+// constant.
+func portDeliver(v any) {
+	p := v.(*Port)
+	pkt := p.wire[0]
+	n := copy(p.wire, p.wire[1:])
+	p.wire[n] = nil
+	p.wire = p.wire[:n]
+	peer := p.peer
+	peer.owner.Receive(pkt, peer.index)
 }

@@ -100,9 +100,11 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	switch pkt.Type {
 	case packet.PfcPause:
 		s.ports[inPort].setClassPaused(int(pkt.PauseClass), true)
+		s.net.Pool.Put(pkt) // PFC is link-local: consumed here
 		return
 	case packet.PfcResume:
 		s.ports[inPort].setClassPaused(int(pkt.PauseClass), false)
+		s.net.Pool.Put(pkt)
 		return
 	}
 
@@ -129,6 +131,7 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 					Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 				})
 			}
+			s.net.Pool.Put(pkt) // dropped: the buffer was its last owner
 			return
 		}
 		s.buffered += size
@@ -177,7 +180,9 @@ func (s *Switch) checkPause(inPort, class int) {
 	s.upstreamPaused[inPort][class] = true
 	s.PauseFrames++
 	s.net.PauseFrames.Inc()
-	s.ports[inPort].enqueue(&packet.Packet{Type: packet.PfcPause, PauseClass: uint8(class)})
+	pf := s.net.Pool.Get()
+	pf.Type, pf.PauseClass = packet.PfcPause, uint8(class)
+	s.ports[inPort].enqueue(pf)
 }
 
 // checkResume releases the upstream class once occupancy falls to the
@@ -188,7 +193,9 @@ func (s *Switch) checkResume(inPort, class int) {
 	}
 	s.upstreamPaused[inPort][class] = false
 	s.ResumeFrames++
-	s.ports[inPort].enqueue(&packet.Packet{Type: packet.PfcResume, PauseClass: uint8(class)})
+	pf := s.net.Pool.Get()
+	pf.Type, pf.PauseClass = packet.PfcResume, uint8(class)
+	s.ports[inPort].enqueue(pf)
 }
 
 // PortINT captures the live INT record of an egress port — the

@@ -188,6 +188,10 @@ type Packet struct {
 	// Algorithm 1 line 3 records it so the egress engine can look up the
 	// request-path INT for ACKs. It is rewritten at every switch.
 	InputPort int32
+
+	// pooled marks a packet currently resident in a Pool; Pool.Put uses it
+	// to detect double releases (two owners for one frame).
+	pooled bool
 }
 
 // SizeBytes returns the frame's wire size, including all INT records.
@@ -260,6 +264,7 @@ func (p *Packet) String() string {
 // frame logically forks, e.g. tracing.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooled = false // the copy is owned by the caller, not any pool
 	if p.Hops != nil {
 		q.Hops = append([]IntHop(nil), p.Hops...)
 	}

@@ -1,0 +1,97 @@
+package packet
+
+import "testing"
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.Type = Data
+	a.PayloadBytes = 1452
+	a.AddHop(IntHop{SwitchID: 7, B: 100e9})
+	p.Put(a)
+
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if b.Type != 0 || b.PayloadBytes != 0 || b.FlowID != 0 || len(b.Hops) != 0 {
+		t.Fatalf("recycled packet not reset: %+v", b)
+	}
+	if cap(b.Hops) == 0 {
+		t.Fatal("Reset dropped the Hops capacity the pool exists to keep")
+	}
+
+	st := p.Stats()
+	if st.Gets != 2 || st.News != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v want 0.5", got)
+	}
+}
+
+func TestPoolResetClearsStaleHops(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.AddHop(IntHop{SwitchID: 42, QLen: 9999})
+	p.Put(a)
+	b := p.Get()
+	// Appending after recycle must see zeroed backing storage, not hop 42.
+	b.Hops = b.Hops[:1]
+	if b.Hops[0].SwitchID != 0 || b.Hops[0].QLen != 0 {
+		t.Fatalf("stale hop record survived Reset: %+v", b.Hops[0])
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	p.Put(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(a)
+}
+
+func TestPoolAcceptsForeignPackets(t *testing.T) {
+	p := NewPool()
+	p.Put(&Packet{Type: Cnp}) // hand-built frame enters the pool
+	p.Put(nil)                // no-op
+	if p.Free() != 1 {
+		t.Fatalf("Free = %d", p.Free())
+	}
+	if got := p.Get(); got.Type != 0 {
+		t.Fatalf("foreign packet not reset: %+v", got)
+	}
+}
+
+func TestCloneIsNotPooled(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.AddHop(IntHop{SwitchID: 1})
+	c := a.Clone()
+	p.Put(a)
+	p.Put(c) // the clone is an independent frame; releasing it must not trip
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d", p.Free())
+	}
+}
+
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPool()
+	// Warm: one packet with hop capacity in circulation.
+	w := p.Get()
+	w.AddHop(IntHop{})
+	p.Put(w)
+	allocs := testing.AllocsPerRun(1000, func() {
+		pkt := p.Get()
+		pkt.Type = Ack
+		pkt.AddHop(IntHop{SwitchID: 3, B: 400e9})
+		p.Put(pkt)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/AddHop/Put allocates %.1f/op", allocs)
+	}
+}

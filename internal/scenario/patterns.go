@@ -8,6 +8,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -59,6 +60,7 @@ func fabricMetrics(ft *topo.FatTree, generated int, done bool) map[string]float6
 // pattern — every host sends and receives exactly once — that exercises
 // every tier of the fabric simultaneously.
 func runPermutation(sp Spec) (map[string]float64, error) {
+	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
 		return nil, err
@@ -75,7 +77,9 @@ func runPermutation(sp Spec) (map[string]float64, error) {
 		ft.AddFlow(uint64(i+1), i, (i+shift)%hosts, sp.Workload.FlowBytes, 0)
 	}
 	done := ft.Net.RunToCompletion(sp.Duration())
-	return fabricMetrics(ft, hosts, done), nil
+	m := fabricMetrics(ft, hosts, done)
+	perfMetrics(m, probe.End(ft.Net))
+	return m, nil
 }
 
 // runAllToAll is the shuffle: every host sends FlowBytes to every other
@@ -83,6 +87,7 @@ func runPermutation(sp Spec) (map[string]float64, error) {
 // receives from hosts-1 peers, the worst admissible stress the fabric
 // supports.
 func runAllToAll(sp Spec) (map[string]float64, error) {
+	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
 		return nil, err
@@ -99,7 +104,9 @@ func runAllToAll(sp Spec) (map[string]float64, error) {
 		}
 	}
 	done := ft.Net.RunToCompletion(sp.Duration())
-	return fabricMetrics(ft, hosts*(hosts-1), done), nil
+	m := fabricMetrics(ft, hosts*(hosts-1), done)
+	perfMetrics(m, probe.End(ft.Net))
+	return m, nil
 }
 
 // runMixed layers periodic Fanout-to-1 incast bursts (every BurstEveryUs,
@@ -107,6 +114,7 @@ func runAllToAll(sp Spec) (map[string]float64, error) {
 // composite pattern production fabrics actually see. The run drains after
 // the arrival horizon like the FCT experiment.
 func runMixed(sp Spec) (map[string]float64, error) {
+	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
 		return nil, err
@@ -150,5 +158,6 @@ func runMixed(sp Spec) (map[string]float64, error) {
 	m := fabricMetrics(ft, len(flows)+burstFlows, done)
 	m["burst_flows"] = float64(burstFlows)
 	m["offered_load"] = workload.OfferedLoad(flows, hosts, sp.Topo.RateBps(), horizon)
+	perfMetrics(m, probe.End(ft.Net))
 	return m, nil
 }

@@ -44,6 +44,23 @@ var knownMetrics = map[string]bool{
 	"slowdown_avg": true, "slowdown_median": true, "slowdown_p95": true,
 	"slowdown_p99": true, "all_done_us": true, "jain_min": true,
 	"makespan_us": true, "completed_all": true, "burst_flows": true,
+	// Simulator-performance telemetry (exp.PerfStats), attached to every
+	// run so sweeps regression-track engine throughput and pool efficiency.
+	// The engine/pool rates are deterministic; the wall-clock and
+	// allocation counters are host-dependent trend indicators.
+	"engine_events": true, "engine_events_per_sec": true,
+	"event_reuse_rate": true, "pool_hit_rate": true,
+	"mallocs_per_run": true, "alloc_bytes_per_run": true,
+}
+
+// perfMetrics folds a runner's PerfStats into the flat metric map.
+func perfMetrics(m map[string]float64, p exp.PerfStats) {
+	m["engine_events"] = float64(p.Events)
+	m["engine_events_per_sec"] = p.EventsPerSec
+	m["event_reuse_rate"] = p.EventReuseRate
+	m["pool_hit_rate"] = p.PoolHitRate
+	m["mallocs_per_run"] = float64(p.Mallocs)
+	m["alloc_bytes_per_run"] = float64(p.AllocBytes)
 }
 
 // BuildScheme constructs the named scheme with parameter overrides applied.
@@ -174,14 +191,16 @@ func runMicro(sp Spec) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"queue_peak_bytes":  r.QueuePeak,
 		"mean_util":         r.MeanUtil,
 		"pause_frames":      float64(r.PauseFrames),
 		"resume_frames":     float64(r.ResumeFrames),
 		"drops":             float64(r.Drops),
 		"first_slowdown_us": timeUs(r.FirstSlowdown),
-	}, nil
+	}
+	perfMetrics(m, r.Perf)
+	return m, nil
 }
 
 func runHop(sp Spec) (map[string]float64, error) {
@@ -193,11 +212,13 @@ func runHop(sp Spec) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"queue_peak_bytes": r.QueuePeak,
 		"mean_util":        r.MeanUtil,
 		"lhcs_triggers":    float64(r.LHCSTriggers),
-	}, nil
+	}
+	perfMetrics(m, r.Perf)
+	return m, nil
 }
 
 func runFairness(sp Spec) (map[string]float64, error) {
@@ -210,10 +231,12 @@ func runFairness(sp Spec) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"jain_all_active": r.JainAllActive,
 		"duration_us":     timeUs(r.Duration),
-	}, nil
+	}
+	perfMetrics(m, r.Perf)
+	return m, nil
 }
 
 func runFCT(sp Spec) (map[string]float64, error) {
@@ -241,6 +264,7 @@ func runFCT(sp Spec) (map[string]float64, error) {
 		"drops":        float64(r.Drops),
 	}
 	slowdownMetrics(m, r.Collector)
+	perfMetrics(m, r.Perf)
 	return m, nil
 }
 
@@ -255,13 +279,15 @@ func runIncast(sp Spec) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"queue_peak_bytes": float64(r.QueuePeak),
 		"pause_frames":     float64(r.PauseFrames),
 		"all_done_us":      timeUs(r.AllDoneAt),
 		"jain_min":         r.JainFinalRates,
 		"lhcs_triggers":    float64(r.LHCSTriggers),
-	}, nil
+	}
+	perfMetrics(m, r.Perf)
+	return m, nil
 }
 
 // slowdownMetrics folds a collector's whole-range slowdown distribution into

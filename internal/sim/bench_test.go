@@ -37,7 +37,8 @@ func BenchmarkEngineHotLoop(b *testing.B) {
 
 func BenchmarkEngineCancel(b *testing.B) {
 	e := NewEngine()
-	evs := make([]*Event, 0, 1024)
+	b.ReportAllocs()
+	evs := make([]Event, 0, 1024)
 	for i := 0; i < b.N; i++ {
 		evs = append(evs, e.Schedule(Time(i), func() {}))
 		if len(evs) == 1024 {
@@ -45,7 +46,48 @@ func BenchmarkEngineCancel(b *testing.B) {
 				e.Cancel(ev)
 			}
 			evs = evs[:0]
+			for e.Step() { // sweep tombstones so the queue stays bounded
+			}
 		}
+	}
+}
+
+// BenchmarkEngineScheduleArgFire is the closure-free hot path: a
+// package-scope callback plus a pointer argument, zero allocations per
+// event.
+func BenchmarkEngineScheduleArgFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	var sink int
+	bump := func(v any) { *v.(*int)++ }
+	for i := 0; i < b.N; i++ {
+		e.AfterArg(Time(i%1000), bump, &sink)
+		if e.Pending() > 1024 {
+			for e.Step() {
+			}
+		}
+	}
+	for e.Step() {
+	}
+	if sink != b.N {
+		b.Fatalf("fired %d of %d", sink, b.N)
+	}
+}
+
+// BenchmarkEngineChurn is the mixed steady-state pattern of a busy
+// simulation: schedule, cancel half (retransmission timers disarmed by
+// ACKs), fire the rest.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		keep := e.Schedule(Time(2*i), func() {})
+		kill := e.Schedule(Time(2*i+1), func() {})
+		e.Cancel(kill)
+		_ = keep
+		e.Step()
+	}
+	for e.Step() {
 	}
 }
 

@@ -1,53 +1,99 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. It is returned by Schedule/After so the
-// caller can cancel it (e.g. a retransmission timer disarmed by an ACK).
+// The engine is allocation-free in steady state. Events live in a
+// slot slab owned by the engine; Schedule hands out value-type handles
+// carrying a generation counter, freed slots recycle through a freelist, and
+// cancellation is O(1) lazy tombstoning swept when the priority queue pops
+// the entry. The (time, seq) tiebreak gives every event a unique position in
+// a strict total order, so firing order — and therefore every downstream
+// measurement — is bit-identical to the historical container/heap engine.
+
+// Event is a handle to a scheduled callback, returned by Schedule/After so
+// the caller can cancel it (e.g. a retransmission timer disarmed by an ACK).
+// It is a value type; the zero Event refers to nothing and is safe to Cancel
+// or query. A handle goes stale once its event fires or is cancelled: stale
+// handles are inert — in particular, cancelling one never affects a later
+// event that recycled the same internal slot (the generation check).
 type Event struct {
-	at       Time
-	seq      uint64 // tiebreak: same-time events fire in scheduling order
-	index    int    // heap index, -1 once popped or cancelled
-	fn       func()
-	canceled bool
+	e    *Engine
+	slot int32
+	gen  uint32
 }
 
-// At returns the firing time of the event.
-func (e *Event) At() Time { return e.at }
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Pending reports whether the event is still scheduled: not yet fired and
+// not cancelled. Zero and stale handles report false.
+func (ev Event) Pending() bool {
+	if ev.e == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &ev.e.slots[ev.slot]
+	return s.gen == ev.gen && s.live
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// At returns the firing time of a pending event, and 0 for zero or stale
+// handles (check Pending when the distinction matters).
+func (ev Event) At() Time {
+	if !ev.Pending() {
+		return 0
+	}
+	return ev.e.slots[ev.slot].at
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// slot is the pooled storage behind one Event handle. A slot is occupied
+// from Schedule until its queue entry is popped (fired or swept as a
+// tombstone); only then does it return to the freelist with its generation
+// bumped, which is what invalidates outstanding handles.
+type slot struct {
+	gen   uint32
+	live  bool // scheduled and not cancelled
+	at    Time
+	fn    func()
+	argFn func(any)
+	arg   any
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// entry is one priority-queue element. It carries the ordering key inline so
+// sift operations never chase into the slot slab.
+type entry struct {
+	at   Time
+	seq  uint64 // tiebreak: same-time events fire in scheduling order
+	slot int32
+}
+
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// EngineStats is the scheduler's own performance telemetry, surfaced by the
+// experiment harness so every sweep tracks engine throughput and pool
+// efficiency as first-class outputs.
+type EngineStats struct {
+	// Processed counts events that fired.
+	Processed uint64
+	// Scheduled counts Schedule/After calls.
+	Scheduled uint64
+	// Canceled counts effective Cancel calls (stale/no-op cancels excluded).
+	Canceled uint64
+	// SlotReuses counts schedules served from the freelist instead of
+	// growing the slab — the event-pool hit count.
+	SlotReuses uint64
+	// Slots is the slab size: the high-water mark of simultaneously live
+	// events (plus unswept tombstones).
+	Slots int
+}
+
+// ReuseRate is SlotReuses/Scheduled: the fraction of schedules that recycled
+// a freed slot (approaches 1 in steady state).
+func (s EngineStats) ReuseRate() float64 {
+	if s.Scheduled == 0 {
+		return 0
+	}
+	return float64(s.SlotReuses) / float64(s.Scheduled)
 }
 
 // Engine is a single-threaded discrete-event scheduler.
@@ -57,11 +103,18 @@ func (h *eventHeap) Pop() any {
 // runs one independent Engine per (scheme, seed, sweep-point) instead of
 // parallelizing inside a run.
 type Engine struct {
-	now       Time
-	seq       uint64
-	events    eventHeap
-	stopped   bool
-	processed uint64
+	now     Time
+	seq     uint64
+	queue   []entry
+	slots   []slot
+	free    []int32
+	live    int // scheduled, not cancelled, not fired
+	stopped bool
+
+	processed  uint64
+	scheduled  uint64
+	canceled   uint64
+	slotReuses uint64
 }
 
 // NewEngine returns an engine positioned at time zero.
@@ -76,43 +129,119 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.live }
+
+// Stats returns the engine's cumulative scheduling telemetry.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Processed:  e.processed,
+		Scheduled:  e.scheduled,
+		Canceled:   e.canceled,
+		SlotReuses: e.slotReuses,
+		Slots:      len(e.slots),
+	}
+}
+
+// alloc returns a free slot index, recycling before growing the slab.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slotReuses++
+		return i
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a popped slot to the freelist, bumping the generation so
+// every outstanding handle to it goes stale.
+func (e *Engine) release(i int32) {
+	s := &e.slots[i]
+	s.gen++
+	s.live = false
+	s.at = 0
+	s.fn = nil
+	s.argFn = nil
+	s.arg = nil
+	e.free = append(e.free, i)
+}
+
+func (e *Engine) push(at Time, fn func(), argFn func(any), arg any) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	i := e.alloc()
+	s := &e.slots[i]
+	s.live = true
+	s.at = at
+	s.fn = fn
+	s.argFn = argFn
+	s.arg = arg
+	e.queue = append(e.queue, entry{at: at, seq: e.seq, slot: i})
+	e.seq++
+	e.scheduled++
+	e.live++
+	e.siftUp(len(e.queue) - 1)
+	return Event{e: e, slot: i, gen: s.gen}
+}
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a modelling bug, and silently reordering time
 // would corrupt every downstream measurement.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
-	}
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	return e.push(at, fn, nil, nil)
 }
 
 // After registers fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel removes ev from the queue if it has not fired. Safe to call twice.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// ScheduleArg registers fn(arg) to run at absolute time at. It is the
+// allocation-free alternative to Schedule for hot paths: passing a
+// package-level function plus a pointer argument avoids the closure capture
+// a literal would heap-allocate on every call.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	return e.push(at, nil, fn, arg)
+}
+
+// AfterArg registers fn(arg) to run d after the current time; see
+// ScheduleArg.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// Cancel deactivates ev if it has not fired. Safe to call on zero or stale
+// handles (including a handle whose slot has been recycled by a newer event
+// — the generation check makes that a no-op). The queue entry is tombstoned
+// in O(1) and swept when it reaches the front.
+func (e *Engine) Cancel(ev Event) {
+	if ev.e != e || ev.e == nil {
 		return
 	}
-	ev.canceled = true
-	heap.Remove(&e.events, ev.index)
-	ev.index = -1
+	s := &e.slots[ev.slot]
+	if s.gen != ev.gen || !s.live {
+		return
+	}
+	s.live = false
+	s.fn = nil
+	s.argFn = nil
+	s.arg = nil
+	e.canceled++
+	e.live--
 }
 
 // Stop makes the current Run/RunUntil call return after the in-flight event.
@@ -121,14 +250,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the earliest pending event and returns true, or returns false
 // if the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
+	for len(e.queue) > 0 {
+		ent := e.queue[0]
+		e.popTop()
+		s := &e.slots[ent.slot]
+		if !s.live {
+			e.release(ent.slot) // tombstoned by Cancel; sweep
 			continue
 		}
-		e.now = ev.at
+		fn, argFn, arg := s.fn, s.argFn, s.arg
+		e.release(ent.slot) // free before firing so fn can recycle the slot
+		e.now = ent.at
 		e.processed++
-		ev.fn()
+		e.live--
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -146,21 +285,86 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		// Peek.
-		var next *Event
-		for len(e.events) > 0 && e.events[0].canceled {
-			heap.Pop(&e.events)
+		// Peek, sweeping tombstones off the front.
+		for len(e.queue) > 0 && !e.slots[e.queue[0].slot].live {
+			i := e.queue[0].slot
+			e.popTop()
+			e.release(i)
 		}
-		if len(e.events) > 0 {
-			next = e.events[0]
-		}
-		if next == nil || next.at > deadline {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
 			break
 		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ent := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ent.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ent
+}
+
+// popTop removes the minimum entry and restores the heap property.
+func (e *Engine) popTop() {
+	q := e.queue
+	n := len(q) - 1
+	ent := q[n]
+	q[n] = entry{}
+	e.queue = q[:n]
+	if n == 0 {
+		return
+	}
+	// Sift the former last element down from the root.
+	q = e.queue
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q[r].before(q[l]) {
+			child = r
+		}
+		if !q[child].before(ent) {
+			break
+		}
+		q[i] = q[child]
+		i = child
+	}
+	q[i] = ent
+}
+
+// ticker is the reusable state behind Engine.Ticker: one allocation at
+// creation, zero per tick (the reschedule goes through the arg path).
+type ticker struct {
+	e       *Engine
+	period  Time
+	fn      func()
+	stopped bool
+	ev      Event
+}
+
+func tickerFire(v any) {
+	t := v.(*ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.e.AfterArg(t.period, tickerFire, t)
 	}
 }
 
@@ -171,21 +375,10 @@ func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
 	}
-	stopped := false
-	var ev *Event
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			ev = e.After(period, tick)
-		}
-	}
-	ev = e.After(period, tick)
+	t := &ticker{e: e, period: period, fn: fn}
+	t.ev = e.AfterArg(period, tickerFire, t)
 	return func() {
-		stopped = true
-		e.Cancel(ev)
+		t.stopped = true
+		e.Cancel(t.ev)
 	}
 }
