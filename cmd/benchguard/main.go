@@ -10,9 +10,19 @@
 //
 // Each -max NAME=N asserts the named benchmark reports at most N allocs/op;
 // a named benchmark missing from the input is also an error (a silently
-// skipped guard is a disabled guard). The JSON output is one object per
-// benchmark keyed by name (CPU-count suffix stripped), suitable for
-// committing as the perf-trajectory point of a PR.
+// skipped guard is a disabled guard).
+//
+// Derived metrics: -ratio NAME=NUM/DEN records NUM's ns/op divided by DEN's
+// (e.g. the packet-vs-fluid wall-clock speedup of the same experiment), and
+// -min NAME=V fails the run when the named ratio falls below V — the guard
+// that keeps "the fluid backend is two orders of magnitude faster" a tested
+// property instead of a README claim.
+//
+// The JSON output groups parsed benchmarks (keyed by name, CPU-count suffix
+// stripped) with the computed ratios, suitable for committing as the
+// perf-trajectory point of a PR:
+//
+//	{"benchmarks": {"BenchmarkX": {...}}, "ratios": {"fluid_speedup": 123.4}}
 package main
 
 import (
@@ -78,11 +88,56 @@ func parse(r io.Reader) (map[string]Point, error) {
 	return out, sc.Err()
 }
 
+// ratioFlags collects -ratio NAME=NUM/DEN definitions.
+type ratioFlags map[string][2]string
+
+func (r ratioFlags) String() string { return fmt.Sprint(map[string][2]string(r)) }
+
+func (r ratioFlags) Set(s string) error {
+	name, expr, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=NUM/DEN, got %q", s)
+	}
+	num, den, ok := strings.Cut(expr, "/")
+	if !ok || num == "" || den == "" {
+		return fmt.Errorf("want NAME=NUM/DEN, got %q", s)
+	}
+	r[name] = [2]string{num, den}
+	return nil
+}
+
+type minFlags map[string]float64
+
+func (m minFlags) String() string { return fmt.Sprint(map[string]float64(m)) }
+
+func (m minFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=MIN, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad ratio bound %q: %w", val, err)
+	}
+	m[name] = v
+	return nil
+}
+
+// snapshot is the JSON output: parsed benchmarks plus derived ratios.
+type snapshot struct {
+	Benchmarks map[string]Point   `json:"benchmarks"`
+	Ratios     map[string]float64 `json:"ratios,omitempty"`
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON snapshot to write (default: none)")
 	limits := maxFlags{}
 	flag.Var(limits, "max", "NAME=ALLOCS allocs/op budget; repeatable")
+	ratios := ratioFlags{}
+	flag.Var(ratios, "ratio", "NAME=NUM/DEN ns/op ratio to derive; repeatable")
+	mins := minFlags{}
+	flag.Var(mins, "min", "NAME=V minimum for a derived ratio; repeatable")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -102,8 +157,55 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found"))
 	}
 
+	derived := map[string]float64{}
+	rnames := make([]string, 0, len(ratios))
+	for name := range ratios {
+		rnames = append(rnames, name)
+	}
+	sort.Strings(rnames)
+	failed := false
+	for _, name := range rnames {
+		nd := ratios[name]
+		num, okN := points[nd[0]]
+		den, okD := points[nd[1]]
+		switch {
+		case !okN || !okD:
+			fmt.Fprintf(os.Stderr, "benchguard: ratio %s: benchmark missing from input (%s, %s)\n",
+				name, nd[0], nd[1])
+			failed = true
+			continue
+		case den.NsPerOp == 0:
+			fmt.Fprintf(os.Stderr, "benchguard: ratio %s: zero denominator %s\n", name, nd[1])
+			failed = true
+			continue
+		}
+		derived[name] = num.NsPerOp / den.NsPerOp
+	}
+	for name := range mins {
+		if _, ok := ratios[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: -min %s has no matching -ratio\n", name)
+			failed = true
+		}
+	}
+	for _, name := range rnames {
+		v, ok := derived[name]
+		if !ok {
+			continue
+		}
+		status := ""
+		if minV, bounded := mins[name]; bounded {
+			status = "ok"
+			if v < minV {
+				status = "REGRESSION"
+				failed = true
+			}
+			status = fmt.Sprintf("(min %g) %s", minV, status)
+		}
+		fmt.Printf("%-40s %10.1fx %s\n", "ratio:"+name, v, status)
+	}
+
 	if *out != "" {
-		data, err := json.MarshalIndent(points, "", "  ")
+		data, err := json.MarshalIndent(snapshot{Benchmarks: points, Ratios: derived}, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +219,6 @@ func main() {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
 	for _, name := range names {
 		budget := limits[name]
 		p, ok := points[name]

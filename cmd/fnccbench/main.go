@@ -14,6 +14,9 @@
 //	fnccbench sweep micro -schemes FNCC,HPCC,DCQCN,RoCC -cache .fnccbench
 //	fnccbench sweep fct-websearch -schemes FNCC,HPCC -seeds 1,2,3 \
 //	    -loads 0.3,0.5,0.7 -agg -format csv -cache .fnccbench
+//	fnccbench sweep fct-websearch -backend fluid -schemes FNCC,HPCC,DCQCN \
+//	    -loads 0.1,0.3,0.5,0.7,0.9 -seeds 1,2,3,4,5   # ms per point
+//	fnccbench sweep permutation -backends packet,fluid -sizes 4,8  # cross-check
 package main
 
 import (
@@ -61,9 +64,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep> [args]
   list                      built-in scenarios
   show  <name|spec.json>    canonical spec JSON + content hash
-  run   <name|spec.json>    execute one scenario (flags: -scheme -seed -load -cache -json)
-  sweep <name|spec.json>    expand and run a grid (flags: -schemes -seeds -loads -sizes
-                            -workers -cache -agg -format table|csv|json)
+  run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache -json)
+  sweep <name|spec.json>    expand and run a grid (flags: -schemes -backend -backends -seeds
+                            -loads -sizes -workers -cache -agg -format table|csv|json)
 Run 'fnccbench <subcommand> -h' for flags.`)
 }
 
@@ -82,9 +85,10 @@ func resolve(arg string) (scenario.Spec, error) {
 }
 
 func cmdList() error {
-	fmt.Printf("%-24s %-12s %-8s %s\n", "name", "kind", "scheme", "description")
+	fmt.Printf("%-24s %-12s %-8s %-7s %s\n", "name", "kind", "scheme", "backend", "description")
 	for _, e := range scenario.Builtin() {
-		fmt.Printf("%-24s %-12s %-8s %s\n", e.Spec.Name, e.Spec.Kind, e.Spec.Scheme, e.Desc)
+		fmt.Printf("%-24s %-12s %-8s %-7s %s\n",
+			e.Spec.Name, e.Spec.Kind, e.Spec.Scheme, e.Spec.BackendName(), e.Desc)
 	}
 	return nil
 }
@@ -114,6 +118,7 @@ func cmdRun(args []string) error {
 	}
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	schemeF := fs.String("scheme", "", "override the spec's scheme")
+	backend := fs.String("backend", "", "simulation backend: packet|fluid (empty keeps the spec's)")
 	seed := fs.Int64("seed", -1, "override the spec's seed (-1 keeps it)")
 	load := fs.Float64("load", 0, "override the spec's target load")
 	cache := fs.String("cache", "", "result cache directory (empty disables)")
@@ -126,6 +131,9 @@ func cmdRun(args []string) error {
 	}
 	if *schemeF != "" {
 		sp.Scheme = *schemeF
+	}
+	if *backend != "" {
+		sp.Backend = *backend
 	}
 	if *seed >= 0 {
 		sp.Seed = *seed
@@ -158,6 +166,8 @@ func cmdSweep(args []string) error {
 	}
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	schemes := fs.String("schemes", "", "comma-separated scheme names")
+	backend := fs.String("backend", "", "simulation backend for every point: packet|fluid")
+	backends := fs.String("backends", "", "comma-separated backends to sweep as a grid dimension")
 	seeds := fs.String("seeds", "", "comma-separated int64 seeds")
 	loads := fs.String("loads", "", "comma-separated target loads")
 	sizes := fs.String("sizes", "", "comma-separated topology sizes (K / senders / fanout)")
@@ -171,9 +181,15 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *backend != "" {
+		base.Backend = *backend
+	}
 	sweep := harness.Sweep{Base: base}
 	if *schemes != "" {
 		sweep.Grid.Schemes = splitList(*schemes)
+	}
+	if *backends != "" {
+		sweep.Grid.Backends = splitList(*backends)
 	}
 	for _, s := range splitList(*seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)

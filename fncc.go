@@ -20,6 +20,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fluid"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -269,6 +270,46 @@ var (
 	AggregateRows  = harness.Aggregate
 	WriteSweepCSV  = harness.WriteCSV
 	WriteSweepJSON = harness.WriteJSON
+)
+
+// Simulation backends a Scenario can select (Scenario.Backend): the full
+// per-packet engine, or the flow-level max-min fluid approximation for
+// FCT-style kinds (internal/fluid; orders of magnitude faster per point).
+const (
+	BackendPacket = scenario.BackendPacket
+	BackendFluid  = scenario.BackendFluid
+)
+
+// Backends lists the simulation backends.
+var Backends = scenario.Backends
+
+// Flow-level fluid backend, usable directly (without the scenario layer)
+// for custom flow sets on chain or fat-tree fabrics.
+type (
+	// FluidConfig carries the wire-format constants shared with netsim.
+	FluidConfig = fluid.Config
+	// FluidModel is a scheme's rate-convergence behavior (Tau=0: instant
+	// max-min).
+	FluidModel = fluid.Model
+	// FluidFabric is a capacitated link graph with flow routing.
+	FluidFabric = fluid.Fabric
+	// FluidChainOpts parameterizes NewFluidChain (mirrors ChainOpts).
+	FluidChainOpts = fluid.ChainOpts
+	// FluidFatTreeOpts parameterizes NewFluidFatTree (mirrors FatTreeOpts).
+	FluidFatTreeOpts = fluid.FatTreeOpts
+	// FluidSim runs a flow set over a fabric under a model.
+	FluidSim = fluid.Sim
+	// FluidResult is one fluid run: FCT collector plus engine telemetry.
+	FluidResult = fluid.Result
+)
+
+// Fluid-backend entry points.
+var (
+	DefaultFluidConfig = fluid.DefaultConfig
+	NewFluidSim        = fluid.NewSim
+	FluidModelFor      = fluid.ModelFor
+	NewFluidChain      = fluid.NewChain
+	NewFluidFatTree    = fluid.NewFatTree
 )
 
 // Extension baselines (paper §6 related work; not part of the paper's

@@ -1,0 +1,344 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Flow is one fluid transfer. Rates evolve piecewise between events: at
+// every arrival/finish the water-filling pass assigns each flow a new
+// max-min target, and the flow's instantaneous rate decays toward it with
+// the model's time constant.
+type Flow struct {
+	ID        uint64
+	Src, Dst  int
+	SizeBytes int64
+	Start     sim.Time
+	// Finish is the completion time (-1 if the deadline hit first).
+	Finish sim.Time
+	// Ideal is the unloaded-network FCT (slowdown denominator).
+	Ideal sim.Time
+
+	path    []int
+	remBits float64 // remaining on-the-wire bits
+	rate    float64 // instantaneous rate (bit/s) at time t0
+	target  float64 // current max-min fair share (bit/s)
+	frozen  bool    // water-filling scratch
+	offset  sim.Time
+}
+
+// Stats is one run's fluid-engine telemetry.
+type Stats struct {
+	// Events counts arrival and finish events processed.
+	Events int
+	// Recomputes counts water-filling passes (== Events).
+	Recomputes int
+	// MaxActive is the peak concurrent flow count.
+	MaxActive int
+	// WallSeconds is the host wall-clock time of Run.
+	WallSeconds float64
+}
+
+// Result is one completed fluid run.
+type Result struct {
+	// FCT collects completed flows, directly comparable with the packet
+	// engine's collector (same Ideal model, same Slowdown definition).
+	FCT *metrics.FCTCollector
+	// Completed / Generated track deadline success like the packet runners.
+	Completed int
+	Generated int
+	Stats     Stats
+}
+
+// Sim accumulates flows and runs them to completion. Not safe for
+// concurrent use; results are deterministic for a given flow set.
+type Sim struct {
+	fab   *Fabric
+	model Model
+	flows []*Flow
+
+	// water-filling scratch, sized to the link count. count stays all-zero
+	// between passes; remaining/flowsOn are only valid for touched links.
+	remaining []float64
+	count     []int
+	flowsOn   [][]int32
+	links     []int32
+}
+
+// NewSim prepares a run over fab under the scheme convergence model.
+func NewSim(fab *Fabric, model Model) *Sim {
+	return &Sim{
+		fab:       fab,
+		model:     model,
+		remaining: make([]float64, len(fab.LinkBps)),
+		count:     make([]int, len(fab.LinkBps)),
+		flowsOn:   make([][]int32, len(fab.LinkBps)),
+	}
+}
+
+// AddFlow registers a transfer of size bytes from src to dst starting at
+// start, resolving its route immediately.
+func (s *Sim) AddFlow(id uint64, src, dst int, size int64, start sim.Time) (*Flow, error) {
+	if err := s.fab.checkHost(src); err != nil {
+		return nil, err
+	}
+	if err := s.fab.checkHost(dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("fluid: flow %d with src == dst", id)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("fluid: flow %d has non-positive size", id)
+	}
+	path, err := s.fab.route(id, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, SizeBytes: size, Start: start,
+		Finish:  -1,
+		Ideal:   s.fab.IdealFCT(src, dst, size),
+		path:    path,
+		remBits: 8 * float64(s.fab.Cfg.wireBytes(size)),
+		rate:    -1, // sentinel: placed at its first target
+		offset:  s.fab.latencyOffset(src, dst, size),
+	}
+	s.flows = append(s.flows, f)
+	return f, nil
+}
+
+// Run executes the event loop until every flow finishes or the next event
+// would pass the deadline, and reports whether all flows completed. Flow
+// FCTs are the fluid transfer duration plus the per-path latency offset, so
+// an uncontended flow completes in exactly its ideal FCT.
+func (s *Sim) Run(deadline sim.Time) *Result {
+	wall := time.Now()
+	sort.SliceStable(s.flows, func(i, j int) bool {
+		if s.flows[i].Start != s.flows[j].Start {
+			return s.flows[i].Start < s.flows[j].Start
+		}
+		return s.flows[i].ID < s.flows[j].ID
+	})
+	res := &Result{FCT: metrics.NewFCTCollector(), Generated: len(s.flows)}
+	horizon := deadline.Seconds()
+	tau := s.model.Tau.Seconds()
+
+	var active []*Flow
+	next := 0
+	t := 0.0
+	for next < len(s.flows) || len(active) > 0 {
+		ta := math.Inf(1)
+		if next < len(s.flows) {
+			ta = s.flows[next].Start.Seconds()
+		}
+		tf, fi := s.nextFinish(active, tau)
+		tf += t
+		if ta <= tf {
+			// Arrival first (ties prefer the arrival so the newcomer
+			// competes for the remaining bytes of coincident finishers).
+			if ta > horizon {
+				break
+			}
+			s.advance(active, ta-t, tau)
+			t = ta
+			for next < len(s.flows) && s.flows[next].Start.Seconds() <= t {
+				active = append(active, s.flows[next])
+				next++
+			}
+		} else {
+			if tf > horizon {
+				break
+			}
+			s.advance(active, tf-t, tau)
+			t = tf
+			f := active[fi]
+			dur := sim.FromSeconds(t) - f.Start
+			f.Finish = f.Start + dur + f.offset
+			res.FCT.Record(metrics.FCTRecord{
+				FlowID: f.ID, SizeBytes: f.SizeBytes,
+				Start: f.Start, Finish: f.Finish, Ideal: f.Ideal,
+			})
+			res.Completed++
+			active = append(active[:fi], active[fi+1:]...)
+		}
+		s.waterfill(active)
+		res.Stats.Events++
+		res.Stats.Recomputes++
+		if len(active) > res.Stats.MaxActive {
+			res.Stats.MaxActive = len(active)
+		}
+	}
+	res.Stats.WallSeconds = time.Since(wall).Seconds()
+	return res
+}
+
+// deliver integrates a flow's rate profile over dt seconds: the rate decays
+// exponentially from f.rate toward f.target, so the delivered volume is
+// target*dt plus the transient's area (rate-target)*tau*(1-exp(-dt/tau)).
+func deliver(f *Flow, dt, tau float64) float64 {
+	if tau == 0 || f.rate == f.target {
+		return f.target * dt
+	}
+	return f.target*dt + (f.rate-f.target)*tau*(1-math.Exp(-dt/tau))
+}
+
+// advance moves every active flow dt seconds forward: debit the delivered
+// bits and settle the instantaneous rate at the profile's endpoint.
+func (s *Sim) advance(active []*Flow, dt, tau float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, f := range active {
+		f.remBits -= deliver(f, dt, tau)
+		if f.remBits < 0 {
+			f.remBits = 0
+		}
+		if tau == 0 {
+			f.rate = f.target
+		} else {
+			f.rate = f.target + (f.rate-f.target)*math.Exp(-dt/tau)
+		}
+	}
+}
+
+// nextFinish returns the earliest completion among active flows as a delta
+// from now, plus its index (math.Inf if none are active). A flow's finish
+// can never beat rem/max(rate, target) — the rate profile is bounded by
+// both endpoints — so that cheap lower bound prunes the exact solve for
+// most flows on large active sets (the fluid hot path).
+func (s *Sim) nextFinish(active []*Flow, tau float64) (float64, int) {
+	best, bi := math.Inf(1), -1
+	for i, f := range active {
+		if f.remBits/math.Max(f.rate, f.target) >= best {
+			continue
+		}
+		if dt := solveFinish(f, tau); dt < best {
+			best, bi = dt, i
+		}
+	}
+	return best, bi
+}
+
+// solveFinish inverts the delivered-volume integral for the time at which
+// the flow's remaining bits hit zero. The integrand (the instantaneous
+// rate) always lies between min(rate, target) and max(rate, target) and
+// both are positive, so the root is bracketed by rem/max and rem/min;
+// Newton steps (the derivative is the rate, one shared Exp per iteration)
+// converge quadratically, with bisection as the in-bracket safeguard.
+func solveFinish(f *Flow, tau float64) float64 {
+	if f.remBits <= 0 {
+		return 0
+	}
+	if tau == 0 || f.rate == f.target {
+		return f.remBits / f.target
+	}
+	lo := f.remBits / math.Max(f.rate, f.target)
+	hi := f.remBits / math.Min(f.rate, f.target)
+	dt := lo
+	for i := 0; i < 64 && hi-lo > 1e-13*hi; i++ {
+		e := math.Exp(-dt / tau)
+		g := f.target*dt + (f.rate-f.target)*tau*(1-e) - f.remBits
+		if g < 0 {
+			lo = dt
+		} else {
+			hi = dt
+		}
+		rate := f.target + (f.rate-f.target)*e // = deliver'(dt), > 0
+		next := dt - g/rate
+		if !(next > lo && next < hi) {
+			next = 0.5 * (lo + hi)
+		}
+		dt = next
+	}
+	return hi
+}
+
+// waterfill computes the global max-min fair allocation by progressive
+// filling: raise every unfrozen flow's rate uniformly until some link
+// saturates, freeze the flows crossing it at the current level, and repeat.
+// Targets are written per flow; instantaneous rates then chase them under
+// the convergence model (newly placed flows start at their first target).
+//
+// Only links that carry flows are ever touched (the worklist s.links), a
+// per-link occupant list freezes exactly the flows on a saturated link, and
+// freezing decrements counts along just the frozen flow's path — so a pass
+// costs O(active·pathlen + rounds·liveLinks) rather than rescanning every
+// flow against every link each round. This is the fluid backend's hot loop.
+func (s *Sim) waterfill(active []*Flow) {
+	s.links = s.links[:0]
+	for i, f := range active {
+		f.frozen = false
+		for _, l := range f.path {
+			if s.count[l] == 0 {
+				s.remaining[l] = s.fab.LinkBps[l]
+				s.flowsOn[l] = s.flowsOn[l][:0]
+				s.links = append(s.links, int32(l))
+			}
+			s.count[l]++
+			s.flowsOn[l] = append(s.flowsOn[l], int32(i))
+		}
+	}
+	unfrozen := len(active)
+	level := 0.0
+	live := s.links
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		w := 0
+		for _, l := range live {
+			if s.count[l] > 0 {
+				live[w] = l
+				w++
+				if share := s.remaining[l] / float64(s.count[l]); share < delta {
+					delta = share
+				}
+			}
+		}
+		live = live[:w]
+		level += delta
+		froze := false
+		for _, l := range live {
+			s.remaining[l] -= delta * float64(s.count[l])
+		}
+		for _, l := range live {
+			// Saturated: capacity exhausted to within float noise.
+			if s.remaining[l] > 1e-9*s.fab.LinkBps[l] {
+				continue
+			}
+			for _, fi := range s.flowsOn[l] {
+				f := active[fi]
+				if f.frozen {
+					continue
+				}
+				f.frozen = true
+				f.target = level
+				froze = true
+				unfrozen--
+				for _, pl := range f.path {
+					s.count[pl]--
+				}
+			}
+		}
+		if !froze {
+			break // numeric guard; delta selection should always freeze
+		}
+	}
+	// Leave the scratch counts zeroed for the next pass (only touched links
+	// need clearing, and frozen-flow decrements already drained most).
+	for _, l := range s.links {
+		s.count[l] = 0
+	}
+	for _, f := range active {
+		if f.rate < 0 {
+			f.rate = f.target // new flow: placed at its first fair share
+		}
+		if s.model.Tau == 0 {
+			f.rate = f.target
+		}
+	}
+}

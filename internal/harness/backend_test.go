@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// fastFluidPair is a scenario cheap enough to simulate under both backends
+// in a unit test (a 4-to-1 incast of 100 KB flows).
+func fastFluidPair() (packet, fluid scenario.Spec) {
+	base := scenario.Spec{Kind: scenario.KindIncast, Scheme: "FNCC",
+		Workload:   scenario.WorkloadSpec{Fanout: 4, FlowBytes: 100_000},
+		DurationUs: 20_000}
+	packet = base
+	fluid = base
+	fluid.Backend = scenario.BackendFluid
+	return packet, fluid
+}
+
+// TestCacheKeySeparatesBackends: the same experiment under "packet" vs
+// "fluid" must hash to distinct cache entries — a shared key would silently
+// serve packet ground truth for fluid requests (masking model error) or,
+// worse, fluid approximations for packet requests.
+func TestCacheKeySeparatesBackends(t *testing.T) {
+	pk, fl := fastFluidPair()
+	if pk.Hash() == fl.Hash() {
+		t.Fatalf("packet and fluid specs share hash %s", pk.Hash())
+	}
+
+	dir := t.TempDir()
+	r := &Runner{CacheDir: dir}
+	pres, err := r.Run(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fluid run must be a miss, not a hit on the packet entry.
+	fres, err := r.Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := r.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 0/2 (fluid served from packet cache?)", hits, misses)
+	}
+	if fres.Cached {
+		t.Fatal("fluid result claims to be cached on first run")
+	}
+	// Distinct physical entries on disk.
+	for _, h := range []string{pk.Hash(), fl.Hash()} {
+		if _, err := os.Stat(r.cachePath(h)); err != nil {
+			t.Errorf("cache entry for %s missing: %v", h, err)
+		}
+	}
+	// Re-running each spec hits its own entry and returns its own backend.
+	pres2, err := r.Run(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres2, err := r.Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres2.Cached || !fres2.Cached {
+		t.Fatal("second runs were not served from cache")
+	}
+	if got := pres2.Spec.BackendName(); got != scenario.BackendPacket {
+		t.Errorf("packet rerun returned backend %q", got)
+	}
+	if got := fres2.Spec.BackendName(); got != scenario.BackendFluid {
+		t.Errorf("fluid rerun returned backend %q", got)
+	}
+	if pres2.Hash == fres2.Hash {
+		t.Error("cached results share a hash")
+	}
+	// And the results themselves differ in surface: only packet has queues.
+	if _, ok := pres.Metrics["queue_peak_bytes"]; !ok {
+		t.Error("packet incast lost its queue metric")
+	}
+	if _, ok := fres.Metrics["queue_peak_bytes"]; ok {
+		t.Error("fluid incast reports a queue metric (served packet data?)")
+	}
+}
+
+// TestGridBackendsDimension: Backends expands as a full grid dimension and
+// exports with a backend column per row.
+func TestGridBackendsDimension(t *testing.T) {
+	pk, _ := fastFluidPair()
+	sweep := Sweep{
+		Base: pk,
+		Grid: Grid{
+			Schemes:  []string{"FNCC", "HPCC"},
+			Backends: []string{scenario.BackendPacket, scenario.BackendFluid},
+		},
+	}
+	if got := sweep.Grid.Points(); got != 4 {
+		t.Fatalf("Points() = %d, want 4", got)
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("expanded %d specs, want 4", len(specs))
+	}
+	seen := map[string]int{}
+	for _, sp := range specs {
+		seen[sp.Scheme+"/"+sp.BackendName()]++
+	}
+	for _, want := range []string{"FNCC/packet", "FNCC/fluid", "HPCC/packet", "HPCC/fluid"} {
+		if seen[want] != 1 {
+			t.Errorf("grid point %s appears %d times, want 1", want, seen[want])
+		}
+	}
+
+	r := &Runner{}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows(results)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasPrefix(lines[0], "name,kind,scheme,backend,") {
+		t.Errorf("CSV header missing backend column: %q", lines[0])
+	}
+	nFluid := 0
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",fluid,") {
+			nFluid++
+		}
+	}
+	if nFluid != 2 {
+		t.Errorf("CSV has %d fluid rows, want 2", nFluid)
+	}
+
+	// Aggregation must not merge across backends.
+	agg := Aggregate(rows)
+	if len(agg) != 4 {
+		t.Errorf("Aggregate merged across backends: %d rows, want 4", len(agg))
+	}
+}
+
+// TestGridBackendRejectsPacketOnlyKind: expanding a fluid backend over a
+// packet-only kind fails at Expand (validation), not at run time.
+func TestGridBackendRejectsPacketOnlyKind(t *testing.T) {
+	sweep := Sweep{
+		Base: scenario.Spec{Kind: scenario.KindMicro, Scheme: "FNCC"},
+		Grid: Grid{Backends: []string{scenario.BackendFluid}},
+	}
+	if _, err := sweep.Expand(); err == nil {
+		t.Fatal("Expand accepted fluid backend for the micro kind")
+	}
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// BenchmarkFluidFCTSweep is a whole sweep grid — 3 schemes x 3 loads x
+// 2 seeds, 18 FCT points — on the fluid backend, uncached and
+// single-worker: the workload the backend exists for. One op is the full
+// grid; this is the BENCH_3.json trajectory point for sweep throughput.
+func BenchmarkFluidFCTSweep(b *testing.B) {
+	sweep := Sweep{
+		Base: scenario.Spec{Kind: scenario.KindFCT, Scheme: "FNCC",
+			Backend:    scenario.BackendFluid,
+			Topo:       scenario.TopoSpec{K: 4},
+			Workload:   scenario.WorkloadSpec{CDF: "websearch"},
+			DurationUs: 500},
+		Grid: Grid{
+			Schemes: []string{"FNCC", "HPCC", "DCQCN"},
+			Loads:   []float64{0.3, 0.5, 0.7},
+			Seeds:   []int64{1, 2},
+		},
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Workers: 1}
+		if _, err := r.RunAll(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

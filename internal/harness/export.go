@@ -14,13 +14,14 @@ import (
 // Row is one exported sweep line: the identifying sweep coordinates plus
 // the flat metric map.
 type Row struct {
-	Name   string  `json:"name"`
-	Kind   string  `json:"kind"`
-	Scheme string  `json:"scheme"`
-	Size   int     `json:"size,omitempty"`
-	Load   float64 `json:"load,omitempty"`
-	Seed   int64   `json:"seed"`
-	Hash   string  `json:"hash,omitempty"`
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Scheme  string  `json:"scheme"`
+	Backend string  `json:"backend"`
+	Size    int     `json:"size,omitempty"`
+	Load    float64 `json:"load,omitempty"`
+	Seed    int64   `json:"seed"`
+	Hash    string  `json:"hash,omitempty"`
 	// Runs counts how many results aggregated into this row (1 for raw
 	// rows, the seed count after Aggregate).
 	Runs    int                `json:"runs"`
@@ -49,6 +50,7 @@ func Rows(results []*scenario.Result) []Row {
 			Name:    res.Spec.Name,
 			Kind:    res.Spec.Kind,
 			Scheme:  res.Spec.Scheme,
+			Backend: res.Spec.BackendName(),
 			Size:    sizeOf(res.Spec),
 			Load:    res.Spec.Load,
 			Seed:    res.Spec.Seed,
@@ -66,21 +68,22 @@ func Rows(results []*scenario.Result) []Row {
 // appearance, so sweep ordering is preserved.
 func Aggregate(rows []Row) []Row {
 	type key struct {
-		name, kind, scheme string
-		size               int
-		load               float64
+		name, kind, scheme, backend string
+		size                        int
+		load                        float64
 	}
 	index := map[key]int{}
 	var out []Row
 	counts := map[key]map[string]int{}
 	for _, r := range rows {
-		k := key{r.Name, r.Kind, r.Scheme, r.Size, r.Load}
+		k := key{r.Name, r.Kind, r.Scheme, r.Backend, r.Size, r.Load}
 		i, ok := index[k]
 		if !ok {
 			i = len(out)
 			index[k] = i
 			out = append(out, Row{Name: r.Name, Kind: r.Kind, Scheme: r.Scheme,
-				Size: r.Size, Load: r.Load, Metrics: map[string]float64{}})
+				Backend: r.Backend, Size: r.Size, Load: r.Load,
+				Metrics: map[string]float64{}})
 			counts[k] = map[string]int{}
 		}
 		out[i].Runs += r.Runs
@@ -125,12 +128,12 @@ func WriteJSON(w io.Writer, rows []Row) error {
 func WriteCSV(w io.Writer, rows []Row) error {
 	cols := metricColumns(rows)
 	cw := csv.NewWriter(w)
-	header := append([]string{"name", "kind", "scheme", "size", "load", "seed", "runs"}, cols...)
+	header := append([]string{"name", "kind", "scheme", "backend", "size", "load", "seed", "runs"}, cols...)
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		rec := []string{r.Name, r.Kind, r.Scheme,
+		rec := []string{r.Name, r.Kind, r.Scheme, r.Backend,
 			strconv.Itoa(r.Size),
 			strconv.FormatFloat(r.Load, 'g', -1, 64),
 			strconv.FormatInt(r.Seed, 10),
@@ -158,13 +161,13 @@ func FormatTable(rows []Row) string {
 	if len(cols) > 6 {
 		cols = cols[:6]
 	}
-	out := fmt.Sprintf("%-24s %-12s %-12s %5s %6s %6s %5s", "name", "kind", "scheme", "size", "load", "seed", "runs")
+	out := fmt.Sprintf("%-24s %-12s %-12s %-7s %5s %6s %6s %5s", "name", "kind", "scheme", "backend", "size", "load", "seed", "runs")
 	for _, c := range cols {
 		out += fmt.Sprintf(" %18s", c)
 	}
 	out += "\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%-24s %-12s %-12s %5d %6.2f %6d %5d", r.Name, r.Kind, r.Scheme, r.Size, r.Load, r.Seed, r.Runs)
+		out += fmt.Sprintf("%-24s %-12s %-12s %-7s %5d %6.2f %6d %5d", r.Name, r.Kind, r.Scheme, r.Backend, r.Size, r.Load, r.Seed, r.Runs)
 		for _, c := range cols {
 			if v, ok := r.Metrics[c]; ok {
 				out += fmt.Sprintf(" %18.4g", v)

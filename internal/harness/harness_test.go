@@ -234,7 +234,7 @@ func TestExport(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("CSV has %d lines, want header+4", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "name,kind,scheme,size,load,seed,runs") {
+	if !strings.HasPrefix(lines[0], "name,kind,scheme,backend,size,load,seed,runs") {
 		t.Errorf("CSV header %q", lines[0])
 	}
 	if !strings.Contains(lines[0], "makespan_us") {

@@ -12,10 +12,15 @@ import (
 )
 
 // Grid is the sweep dimensions. Empty dimensions keep the base spec's
-// value; expansion order is schemes (outer) → sizes → loads → seeds.
+// value; expansion order is schemes (outer) → backends → sizes → loads →
+// seeds.
 type Grid struct {
 	// Schemes are congestion-control scheme names (exp registry).
 	Schemes []string `json:"schemes,omitempty"`
+	// Backends are simulation backends ("packet", "fluid"); sweeping both
+	// runs every point twice, e.g. to quantify the fluid approximation
+	// against packet ground truth across a whole grid.
+	Backends []string `json:"backends,omitempty"`
 	// Seeds repeat each point with different randomness.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Loads are target access-link loads for Poisson kinds.
@@ -28,7 +33,7 @@ type Grid struct {
 // Points returns how many jobs the grid expands to.
 func (g Grid) Points() int {
 	n := 1
-	for _, d := range []int{len(g.Schemes), len(g.Seeds), len(g.Loads), len(g.Sizes)} {
+	for _, d := range []int{len(g.Schemes), len(g.Backends), len(g.Seeds), len(g.Loads), len(g.Sizes)} {
 		if d > 0 {
 			n *= d
 		}
@@ -49,6 +54,10 @@ func (s Sweep) Expand() ([]scenario.Spec, error) {
 	if len(schemes) == 0 {
 		schemes = []string{s.Base.Scheme}
 	}
+	backends := s.Grid.Backends
+	if len(backends) == 0 {
+		backends = []string{s.Base.Backend}
+	}
 	sizes := s.Grid.Sizes
 	if len(sizes) == 0 {
 		sizes = []int{0} // 0 = keep base
@@ -63,22 +72,25 @@ func (s Sweep) Expand() ([]scenario.Spec, error) {
 	}
 	var specs []scenario.Spec
 	for _, scheme := range schemes {
-		for _, size := range sizes {
-			for _, load := range loads {
-				for _, seed := range seeds {
-					sp := s.Base
-					sp.Scheme = scheme
-					sp.Load = load
-					sp.Seed = seed
-					if size > 0 {
-						if err := applySize(&sp, size); err != nil {
-							return nil, err
+		for _, backend := range backends {
+			for _, size := range sizes {
+				for _, load := range loads {
+					for _, seed := range seeds {
+						sp := s.Base
+						sp.Scheme = scheme
+						sp.Backend = backend
+						sp.Load = load
+						sp.Seed = seed
+						if size > 0 {
+							if err := applySize(&sp, size); err != nil {
+								return nil, err
+							}
 						}
+						if err := sp.Validate(); err != nil {
+							return nil, fmt.Errorf("harness: grid point %s/%s: %w", scheme, sp.Kind, err)
+						}
+						specs = append(specs, sp)
 					}
-					if err := sp.Validate(); err != nil {
-						return nil, fmt.Errorf("harness: grid point %s/%s: %w", scheme, sp.Kind, err)
-					}
-					specs = append(specs, sp)
 				}
 			}
 		}

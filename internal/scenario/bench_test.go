@@ -1,0 +1,28 @@
+package scenario
+
+import "testing"
+
+// benchFCTSpec is one small Fig 14-style point, identical under both
+// backends so the packet/fluid ns/op ratio is the backend speedup on the
+// same experiment (cmd/benchguard derives it into BENCH_3.json and CI
+// fails if it drops below 50x).
+func benchFCTSpec(backend string) Spec {
+	return Spec{Kind: KindFCT, Scheme: "FNCC", Backend: backend,
+		Topo: TopoSpec{K: 4}, Workload: WorkloadSpec{CDF: "websearch"},
+		Load: 0.5, Seed: 2, DurationUs: 500}
+}
+
+func benchRun(b *testing.B, sp Spec) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFCTPointPacket is the packet-engine cost of one small FCT point.
+func BenchmarkFCTPointPacket(b *testing.B) { benchRun(b, benchFCTSpec(BackendPacket)) }
+
+// BenchmarkFCTPointFluid is the fluid-backend cost of the same point.
+func BenchmarkFCTPointFluid(b *testing.B) { benchRun(b, benchFCTSpec(BackendFluid)) }

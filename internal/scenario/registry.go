@@ -63,6 +63,17 @@ var builtin = []Entry{
 		Spec: Spec{Name: "mixed-websearch-incast", Kind: KindMixed, Scheme: "FNCC"},
 		Desc: "new: WebSearch background plus periodic 8-to-1 incast bursts",
 	},
+	{
+		Spec: Spec{Name: "fct-websearch-fluid", Kind: KindFCT, Scheme: "FNCC",
+			Backend:  BackendFluid,
+			Workload: WorkloadSpec{CDF: "websearch"}},
+		Desc: "new: Fig 14 point on the flow-level fluid backend (ms, not minutes)",
+	},
+	{
+		Spec: Spec{Name: "permutation-fluid", Kind: KindPermutation, Scheme: "FNCC",
+			Backend: BackendFluid},
+		Desc: "new: cross-pod permutation on the fluid backend",
+	},
 }
 
 // Builtin returns the registry entries sorted by name.

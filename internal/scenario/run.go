@@ -147,6 +147,22 @@ func Run(sp Spec) (*Result, error) {
 		m   map[string]float64
 		err error
 	)
+	if n.BackendName() == BackendFluid {
+		switch n.Kind {
+		case KindFCT:
+			m, err = runFCTFluid(n)
+		case KindIncast:
+			m, err = runIncastFluid(n)
+		case KindPermutation:
+			m, err = runPermutationFluid(n)
+		case KindAllToAll:
+			m, err = runAllToAllFluid(n)
+		default:
+			// Unreachable: Validate rejects fluid for other kinds.
+			err = fmt.Errorf("scenario: kind %q has no fluid runner", n.Kind)
+		}
+		return finishRun(n, m, err)
+	}
 	switch n.Kind {
 	case KindMicro:
 		m, err = runMicro(n)
@@ -167,8 +183,14 @@ func Run(sp Spec) (*Result, error) {
 	default:
 		err = fmt.Errorf("scenario: unknown kind %q", n.Kind)
 	}
+	return finishRun(n, m, err)
+}
+
+// finishRun wraps errors with the run identity and applies the Collect
+// filter, shared by the packet and fluid dispatch paths.
+func finishRun(n Spec, m map[string]float64, err error) (*Result, error) {
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s/%s: %w", n.Kind, n.Scheme, err)
+		return nil, fmt.Errorf("scenario %s/%s/%s: %w", n.Kind, n.BackendName(), n.Scheme, err)
 	}
 	if len(n.Collect) > 0 {
 		keep := make(map[string]float64, len(n.Collect))

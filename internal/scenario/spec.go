@@ -59,6 +59,46 @@ var (
 	fatTreeKinds = map[string]bool{KindFCT: true, KindPermutation: true, KindAllToAll: true, KindMixed: true}
 )
 
+// Simulation backends: which engine executes the spec.
+const (
+	// BackendPacket is the full per-packet event simulation (the default).
+	BackendPacket = "packet"
+	// BackendFluid is the flow-level max-min fluid approximation
+	// (internal/fluid): milliseconds per point instead of minutes, FCT
+	// metrics only. Supported for the FCT-style kinds; kinds whose metrics
+	// are inherently packet-level (queues, PFC, pacing-rate timelines)
+	// reject it at validation.
+	BackendFluid = "fluid"
+)
+
+// Backends lists the simulation backends in canonical order.
+func Backends() []string { return []string{BackendPacket, BackendFluid} }
+
+// fluidKinds are the kinds the fluid backend can execute: their outputs are
+// flow-completion statistics, which the fluid model approximates. The
+// others measure queue dynamics, PFC or sub-RTT rate timelines that only
+// the packet engine produces.
+var fluidKinds = map[string]bool{
+	KindFCT: true, KindIncast: true, KindPermutation: true, KindAllToAll: true,
+}
+
+// fluidKindNames lists the fluid-capable kinds in canonical kind order.
+func fluidKindNames() []string {
+	var out []string
+	for _, k := range Kinds() {
+		if fluidKinds[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FluidSchemeCCKey is the one cc override the fluid backend consumes: the
+// rate-convergence time constant in units of the fabric base RTT (0 = the
+// idealized instant max-min baseline). All packet-level scheme parameters
+// are rejected under the fluid backend — it would silently ignore them.
+const FluidSchemeCCKey = "fluid_tau_rtts"
+
 // TopoSpec declares the fabric. Kind is derived from the scenario kind when
 // empty ("chain" for micro/hop/fairness/incast, "fattree" for the rest).
 type TopoSpec struct {
@@ -121,6 +161,10 @@ type Spec struct {
 	Name string `json:"name,omitempty"`
 	// Kind selects the runner (see Kinds).
 	Kind string `json:"kind"`
+	// Backend selects the simulation engine: "packet" (default, omitted
+	// from the canonical encoding) or "fluid". The backend is part of the
+	// content hash, so packet and fluid results never share a cache entry.
+	Backend string `json:"backend,omitempty"`
 	// Scheme is the congestion-control scheme under test (exp registry name).
 	Scheme string `json:"scheme"`
 	// CC overrides scheme parameters by name: alpha, beta, lhcs (0/1),
@@ -148,10 +192,23 @@ type Spec struct {
 // Duration converts DurationUs to simulation time.
 func (s Spec) Duration() sim.Time { return sim.Time(s.DurationUs) * sim.Microsecond }
 
+// BackendName resolves the effective backend: the zero value means packet.
+func (s Spec) BackendName() string {
+	if s.Backend == "" {
+		return BackendPacket
+	}
+	return s.Backend
+}
+
 // Normalized returns a copy with every defaultable field filled, so specs
 // that mean the same experiment encode (and hash) identically.
 func (s Spec) Normalized() Spec {
 	n := s
+	if n.Backend == BackendPacket {
+		n.Backend = "" // packet is the zero value: default specs keep
+		// their pre-backend canonical encoding and hash, so existing
+		// result caches stay valid.
+	}
 	if n.Topo.Kind == "" {
 		if fatTreeKinds[n.Kind] {
 			n.Topo.Kind = "fattree"
@@ -258,8 +315,34 @@ func (s Spec) Validate() error {
 	if !kindOK {
 		return fmt.Errorf("scenario: unknown kind %q (have %v)", n.Kind, Kinds())
 	}
-	if _, err := BuildScheme(n.Scheme, n.CC); err != nil {
-		return err
+	switch n.Backend {
+	case "": // packet (normalized zero value)
+		if _, err := BuildScheme(n.Scheme, n.CC); err != nil {
+			return err
+		}
+	case BackendFluid:
+		if !fluidKinds[n.Kind] {
+			return fmt.Errorf("scenario: kind %q is inherently packet-level; backend %q supports %v",
+				n.Kind, BackendFluid, fluidKindNames())
+		}
+		// The scheme name must exist (it selects the convergence model),
+		// but packet-level cc overrides are meaningless here and silently
+		// ignoring them would mint a distinct cache identity for an
+		// unchanged experiment.
+		if _, err := BuildScheme(n.Scheme, nil); err != nil {
+			return err
+		}
+		for k, v := range n.CC {
+			if k != FluidSchemeCCKey {
+				return fmt.Errorf("scenario: backend %q accepts only the %q cc override, got %q",
+					BackendFluid, FluidSchemeCCKey, k)
+			}
+			if !(v >= 0) { // inverted so NaN fails
+				return fmt.Errorf("scenario: %s = %v must be >= 0", FluidSchemeCCKey, v)
+			}
+		}
+	default:
+		return fmt.Errorf("scenario: unknown backend %q (have %v)", n.Backend, Backends())
 	}
 	switch n.Topo.Kind {
 	case "chain":
