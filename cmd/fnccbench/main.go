@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -63,10 +64,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep> [args]
   list                      built-in scenarios
-  show  <name|spec.json>    canonical spec JSON + content hash
-  run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache -json)
+  show  <name|spec.json>    canonical spec JSON + content hash + probe support
+  run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache
+                            -telemetry <dir> -json)
   sweep <name|spec.json>    expand and run a grid (flags: -schemes -backend -backends -seeds
-                            -loads -sizes -workers -cache -agg -format table|csv|json)
+                            -loads -sizes -workers -cache -agg -progress -format table|csv|json)
 Run 'fnccbench <subcommand> -h' for flags.`)
 }
 
@@ -109,6 +111,26 @@ func cmdShow(args []string) error {
 		return err
 	}
 	fmt.Printf("%s\nhash: %s\n", canon, sp.Hash())
+	// Which probe classes a telemetry block on this spec could sample: the
+	// fluid backend models rates and link shares, not packets, so the
+	// packet-level classes are rejected there (mirroring Backend rules).
+	supported := map[string]bool{}
+	for _, p := range sp.SupportedProbes() {
+		supported[p] = true
+	}
+	fmt.Println("probes:")
+	for _, p := range telemetry.AllProbes() {
+		mark := "no (backend " + sp.BackendName() + ")"
+		if supported[p] {
+			mark = "yes"
+		}
+		fmt.Printf("  %-8s %s\n", p, mark)
+	}
+	trace := "yes"
+	if sp.BackendName() == scenario.BackendFluid {
+		trace = "no (event tracing is packet-level)"
+	}
+	fmt.Printf("  %-8s %s\n", "trace", trace)
 	return nil
 }
 
@@ -122,6 +144,8 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", -1, "override the spec's seed (-1 keeps it)")
 	load := fs.Float64("load", 0, "override the spec's target load")
 	cache := fs.String("cache", "", "result cache directory (empty disables)")
+	telemetryDir := fs.String("telemetry", "", "export telemetry series to this directory "+
+		"(adds a default telemetry block if the spec has none)")
 	asJSON := fs.Bool("json", false, "print the full result as JSON")
 	fs.Parse(args[1:])
 
@@ -141,10 +165,20 @@ func cmdRun(args []string) error {
 	if *load > 0 {
 		sp.Load = *load
 	}
+	if *telemetryDir != "" && sp.Telemetry == nil {
+		sp.Telemetry = defaultTelemetry(sp)
+	}
 	r := &harness.Runner{CacheDir: *cache}
 	res, err := r.Run(sp)
 	if err != nil {
 		return err
+	}
+	if *telemetryDir != "" {
+		if err := harness.ExportTelemetry(*telemetryDir, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fnccbench: %d telemetry series (%d samples) -> %s\n",
+			len(res.Telemetry.Series), len(res.Telemetry.TimesUs), *telemetryDir)
 	}
 	if *asJSON {
 		return harness.WriteJSON(os.Stdout, harness.Rows([]*scenario.Result{res}))
@@ -158,6 +192,17 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-20s %g\n", k, res.Metrics[k])
 	}
 	return nil
+}
+
+// defaultTelemetry is the block `run -telemetry` injects when the spec has
+// none: every probe class the backend supports at a 10 us cadence, plus a
+// bounded event trace on the packet backend.
+func defaultTelemetry(sp scenario.Spec) *scenario.TelemetrySpec {
+	t := &scenario.TelemetrySpec{IntervalUs: 10, Probes: sp.SupportedProbes()}
+	if sp.BackendName() != scenario.BackendFluid {
+		t.TraceCap = 4096
+	}
+	return t
 }
 
 func cmdSweep(args []string) error {
@@ -174,6 +219,7 @@ func cmdSweep(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "result cache directory (empty disables)")
 	agg := fs.Bool("agg", false, "aggregate metrics across seeds")
+	progress := fs.Bool("progress", true, "live progress line on stderr (only when stderr is a terminal)")
 	format := fs.String("format", "table", "output format: table|csv|json")
 	fs.Parse(args[1:])
 
@@ -218,7 +264,18 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	runner := &harness.Runner{CacheDir: *cache, Workers: *workers}
+	showProgress := *progress && stderrIsTerminal()
+	if showProgress {
+		runner.OnProgress = func(p harness.Progress) {
+			fmt.Fprintf(os.Stderr,
+				"\rfnccbench: %d/%d done (%d cached, %d in flight) %.2fM events/s   ",
+				p.Done, p.Total, p.Cached, p.InFlight, p.EventsPerSec/1e6)
+		}
+	}
 	results, err := runner.RunAll(specs)
+	if showProgress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -244,6 +301,13 @@ func cmdSweep(args []string) error {
 	fmt.Fprintf(os.Stderr, "fnccbench: %d point(s): %d simulated, %d from cache\n",
 		len(results), misses, hits)
 	return nil
+}
+
+// stderrIsTerminal gates the carriage-return progress line: redirected
+// stderr (CI logs) gets the plain summary line only.
+func stderrIsTerminal() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }
 
 func splitList(s string) []string {

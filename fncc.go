@@ -27,6 +27,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -310,6 +311,44 @@ var (
 	FluidModelFor      = fluid.ModelFor
 	NewFluidChain      = fluid.NewChain
 	NewFluidFatTree    = fluid.NewFatTree
+)
+
+// In-simulation telemetry: time-series probes over either backend plus an
+// opt-in bounded event trace, zero-cost when off (see DESIGN.md
+// "Telemetry"). Scenarios opt in via ScenarioTelemetry; direct simulations
+// attach probes with AttachNetProbe / AttachFluidProbe.
+type (
+	// TelemetryConfig selects probe classes, sampling interval, trace cap.
+	TelemetryConfig = telemetry.Config
+	// TelemetryOutput is one run's recorded series + trace.
+	TelemetryOutput = telemetry.Output
+	// TelemetrySeries is one named probe series.
+	TelemetrySeries = telemetry.Series
+	// TelemetryTraceRecord is one flight-recorder event.
+	TelemetryTraceRecord = telemetry.TraceRecord
+	// NetProbe samples a packet-backend Network; FluidProbe a fluid Sim.
+	NetProbe   = telemetry.NetProbe
+	FluidProbe = telemetry.FluidProbe
+	// ScenarioTelemetry is a Scenario's telemetry block.
+	ScenarioTelemetry = scenario.TelemetrySpec
+	// SweepProgress is one live progress snapshot from SweepRunner.
+	SweepProgress = harness.Progress
+)
+
+// Telemetry entry points.
+var (
+	AttachNetProbe   = telemetry.AttachNet
+	AttachFluidProbe = telemetry.AttachFluid
+	// PacketProbes / FluidProbes / AllProbes list the probe classes per
+	// backend; TelemetrySamples sizes a ring for a span and interval.
+	PacketProbes     = telemetry.PacketProbes
+	FluidProbes      = telemetry.FluidProbes
+	AllProbes        = telemetry.AllProbes
+	TelemetrySamples = telemetry.Samples
+	// WriteTraceJSONL serializes a trace; ExportTelemetry writes a
+	// result's series/trace to a directory as JSON + CSV + JSONL.
+	WriteTraceJSONL = telemetry.WriteTraceJSONL
+	ExportTelemetry = harness.ExportTelemetry
 )
 
 // Extension baselines (paper §6 related work; not part of the paper's

@@ -99,6 +99,19 @@ func (d *DCQCN) WindowBytes() int64 { return 1 << 40 }
 // RateBps implements netsim.SenderCC.
 func (d *DCQCN) RateBps() int64 { return int64(d.rc) }
 
+// dcqcnTelemetryVars is returned by TelemetryVars (stable, never mutated).
+var dcqcnTelemetryVars = []string{"alpha", "target_rate_bps"}
+
+// TelemetryVars implements netsim.Observable.
+func (d *DCQCN) TelemetryVars() []string { return dcqcnTelemetryVars }
+
+// TelemetrySample implements netsim.Observable: the RP's alpha (congestion
+// estimate) and target rate rt, the two internals Fig 1's analysis turns on.
+func (d *DCQCN) TelemetrySample(out []float64) {
+	out[0] = d.alpha
+	out[1] = d.rt
+}
+
 // OnAck implements netsim.SenderCC: drives the byte counter. The counter
 // tracks transmitted bytes; cumulative-ACK progress is the RP's proxy for
 // it (identical in steady state).

@@ -83,6 +83,19 @@ func (s *Swift) RateBps() int64 { return s.rate }
 // OnCnp implements netsim.SenderCC (unused).
 func (s *Swift) OnCnp(*netsim.Flow, sim.Time) {}
 
+// swiftTelemetryVars is returned by TelemetryVars (stable, never mutated).
+var swiftTelemetryVars = []string{"target_delay_us", "wnd_bytes"}
+
+// TelemetryVars implements netsim.Observable.
+func (s *Swift) TelemetryVars() []string { return swiftTelemetryVars }
+
+// TelemetrySample implements netsim.Observable: the flow-scaled delay
+// target and the congestion window, Swift's two decision variables.
+func (s *Swift) TelemetrySample(out []float64) {
+	out[0] = s.target().Micros()
+	out[1] = s.wnd
+}
+
 // target computes the flow-scaled target delay.
 func (s *Swift) target() sim.Time {
 	t := s.cfg.BaseTargetDelay + s.cfg.PerHopDelay

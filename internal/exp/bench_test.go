@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // BenchmarkMicroSteadyState runs the complete §5.1 micro-benchmark — build,
@@ -23,6 +24,30 @@ func BenchmarkMicroSteadyState(b *testing.B) {
 		}
 		if r.QueuePeak <= 0 {
 			b.Fatal("no queue buildup: benchmark not exercising the hot path")
+		}
+	}
+}
+
+// BenchmarkMicroTelemetryOn is BenchmarkMicroSteadyState with every packet
+// probe class sampling at 10x the base RTT (13 us -> 130 us interval), the
+// recommended production cadence. cmd/benchguard pins the ratio of this
+// bench to the telemetry-off one at <= 1.05: probes must cost under 5%.
+func BenchmarkMicroTelemetryOn(b *testing.B) {
+	cfg := DefaultMicroConfig(SchemeFNCC, 100e9)
+	cfg.Duration = 400 * sim.Microsecond
+	cfg.Telemetry = &telemetry.Config{
+		Interval: 130 * sim.Microsecond, // 10 RTTs
+		Probes:   telemetry.PacketProbes(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunMicro(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Telemetry == nil || r.Telemetry.Samples == 0 {
+			b.Fatal("telemetry not sampling: benchmark measures nothing")
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -26,6 +27,8 @@ type FairnessConfig struct {
 	SampleEvery sim.Time
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
+	// Telemetry, when enabled, attaches in-simulation probes for the run.
+	Telemetry *telemetry.Config `json:"-"`
 }
 
 // DefaultFairnessConfig uses a CI-friendly 1 ms stagger (≈75 RTTs).
@@ -52,6 +55,8 @@ type FairnessResult struct {
 	Duration sim.Time
 	// Perf is the run's simulator-performance telemetry.
 	Perf PerfStats
+	// Telemetry is the probe output (nil unless configured).
+	Telemetry *telemetry.Output
 }
 
 // RunFairness executes the experiment.
@@ -115,8 +120,14 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 			jainN++
 		}
 	})
+	tp := telemetry.AttachNet(c.Net, deref(cfg.Telemetry),
+		telemetry.Samples(dur, telemetryInterval(cfg.Telemetry)))
 	c.Net.RunUntil(dur)
 	stop()
+	if tp != nil {
+		tp.Stop()
+		res.Telemetry = tp.Output()
+	}
 	if jainN > 0 {
 		res.JainAllActive = jainSum / float64(jainN)
 	}

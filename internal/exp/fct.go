@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -35,6 +36,8 @@ type FCTConfig struct {
 	CoreRateBps int64
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
+	// Telemetry, when enabled, attaches in-simulation probes for the run.
+	Telemetry *telemetry.Config `json:"-"`
 }
 
 // DefaultFCTConfig mirrors §5.5 at a CI-friendly horizon; cmd/fctsweep
@@ -106,6 +109,8 @@ type FCTResult struct {
 	Drops       int64
 	// Perf is the run's simulator-performance telemetry.
 	Perf PerfStats
+	// Telemetry is the probe output (nil unless configured).
+	Telemetry *telemetry.Output
 }
 
 // RunFCT executes one (scheme, seed) large-scale run.
@@ -148,6 +153,8 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	if cfg.DrainFactor <= 0 {
 		drain = cfg.Horizon * 10
 	}
+	tp := telemetry.AttachNet(ft.Net, deref(cfg.Telemetry),
+		telemetry.Samples(cfg.Horizon+drain, telemetryInterval(cfg.Telemetry)))
 	ft.Net.RunToCompletion(cfg.Horizon + drain)
 
 	res := &FCTResult{
@@ -160,6 +167,10 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		OfferedLoad: workload.OfferedLoad(flows, len(ft.Hosts), cfg.RateBps, cfg.Horizon),
 		PauseFrames: ft.Net.PauseFrames.N,
 		Drops:       ft.Net.Drops.N,
+	}
+	if tp != nil {
+		tp.Stop()
+		res.Telemetry = tp.Output()
 	}
 	res.Perf = probe.End(ft.Net)
 	return res, nil

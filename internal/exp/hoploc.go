@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -33,6 +34,8 @@ type HopConfig struct {
 	SampleEvery sim.Time
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
+	// Telemetry, when enabled, attaches in-simulation probes for the run.
+	Telemetry *telemetry.Config `json:"-"`
 }
 
 // DefaultHopConfig mirrors §5.4: 100 Gbps, flow1 joins at 300 us and (for
@@ -68,6 +71,8 @@ type HopResult struct {
 	LHCSTriggers int64
 	// Perf is the run's simulator-performance telemetry.
 	Perf PerfStats
+	// Telemetry is the probe output (nil unless configured).
+	Telemetry *telemetry.Output
 }
 
 // RunHop executes one hop-location experiment.
@@ -119,8 +124,14 @@ func RunHop(cfg HopConfig) (*HopResult, error) {
 		res.Rates[0].Add(now, float64(f0.CC().RateBps()))
 		res.Rates[1].Add(now, float64(f1.CC().RateBps()))
 	})
+	tp := telemetry.AttachNet(c.Net, deref(cfg.Telemetry),
+		telemetry.Samples(cfg.Duration, telemetryInterval(cfg.Telemetry)))
 	c.Net.RunUntil(cfg.Duration)
 	stop()
+	if tp != nil {
+		tp.Stop()
+		res.Telemetry = tp.Output()
+	}
 
 	res.QueuePeak = res.Queue.Max()
 	res.MeanUtil = res.Util.MeanIn(cfg.Flow1Start, cfg.Duration)

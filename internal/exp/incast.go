@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -24,6 +25,8 @@ type IncastConfig struct {
 	Deadline sim.Time
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
+	// Telemetry, when enabled, attaches in-simulation probes for the run.
+	Telemetry *telemetry.Config `json:"-"`
 }
 
 // DefaultIncastConfig is a 16:1, 2 MB-per-sender burst at 100 G.
@@ -56,6 +59,8 @@ type IncastResult struct {
 	LHCSTriggers int64
 	// Perf is the run's simulator-performance telemetry.
 	Perf PerfStats
+	// Telemetry is the probe output (nil unless configured).
+	Telemetry *telemetry.Output
 }
 
 // RunIncast executes the burst.
@@ -104,6 +109,8 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 			}
 		}
 	})
+	tp := telemetry.AttachNet(c.Net, deref(cfg.Telemetry),
+		telemetry.Samples(cfg.Deadline, telemetryInterval(cfg.Telemetry)))
 	if c.Net.RunToCompletion(cfg.Deadline) {
 		last := sim.Time(0)
 		for _, f := range flows {
@@ -114,6 +121,10 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		res.AllDoneAt = last
 	}
 	stop()
+	if tp != nil {
+		tp.Stop()
+		res.Telemetry = tp.Output()
+	}
 	res.PauseFrames = c.Switches[opts.Switches-1].PauseFrames
 	for _, f := range flows {
 		if lh, ok := lhcsTriggersOf(f); ok {

@@ -6,8 +6,25 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
+
+// deref is the nil-tolerant Config unwrap shared by the runners.
+func deref(c *telemetry.Config) telemetry.Config {
+	if c == nil {
+		return telemetry.Config{}
+	}
+	return *c
+}
+
+// telemetryInterval returns the configured sampling interval (0 when off).
+func telemetryInterval(c *telemetry.Config) sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.Interval
+}
 
 // MicroConfig is the Fig 9 / Fig 1b-d / Fig 3 micro-benchmark: the Fig 10
 // dumbbell (M=3), flow0 from t=0 and flow1 joining at Flow1Start, both
@@ -33,6 +50,8 @@ type MicroConfig struct {
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme
 	// (scenario layer injection point).
 	MakeScheme SchemeBuilder `json:"-"`
+	// Telemetry, when enabled, attaches in-simulation probes for the run.
+	Telemetry *telemetry.Config `json:"-"`
 }
 
 // DefaultMicroConfig returns the §5.1 setup at the given rate.
@@ -73,6 +92,8 @@ type MicroResult struct {
 	MeanUtil float64
 	// Perf is the run's simulator-performance telemetry.
 	Perf PerfStats
+	// Telemetry is the probe output (nil unless configured).
+	Telemetry *telemetry.Output
 }
 
 // RunMicro executes the micro-benchmark for one scheme.
@@ -129,8 +150,14 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 			res.FirstSlowdown = now
 		}
 	})
+	tp := telemetry.AttachNet(c.Net, deref(cfg.Telemetry),
+		telemetry.Samples(cfg.Duration, telemetryInterval(cfg.Telemetry)))
 	c.Net.RunUntil(cfg.Duration)
 	stop()
+	if tp != nil {
+		tp.Stop()
+		res.Telemetry = tp.Output()
+	}
 
 	res.PauseFrames = c.Switches[0].PauseFrames
 	res.ResumeFrames = c.Switches[0].ResumeFrames

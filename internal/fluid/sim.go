@@ -32,6 +32,22 @@ type Flow struct {
 	offset  sim.Time
 }
 
+// Path returns the flow's resolved route as fabric link indices. Callers
+// must not mutate the returned slice.
+func (f *Flow) Path() []int { return f.path }
+
+// RateBps returns the flow's instantaneous rate in bit/s as of the last
+// event the simulation advanced to (0 before the flow's first placement).
+func (f *Flow) RateBps() float64 {
+	if f.rate < 0 {
+		return 0 // sentinel: not yet placed by water-filling
+	}
+	return f.rate
+}
+
+// TargetBps returns the flow's current max-min fair share in bit/s.
+func (f *Flow) TargetBps() float64 { return f.target }
+
 // Stats is one run's fluid-engine telemetry.
 type Stats struct {
 	// Events counts arrival and finish events processed.
@@ -68,6 +84,31 @@ type Sim struct {
 	count     []int
 	flowsOn   [][]int32
 	links     []int32
+
+	// Telemetry probe: when set, Run advances the fluid state to every
+	// multiple of probeEvery and invokes probeFn there, as a first-class
+	// loop event (exact rate/volume semantics, not interpolation).
+	probeFn    func(now sim.Time, active []*Flow)
+	probeEvery float64 // seconds
+	nextProbe  float64 // seconds
+}
+
+// Fabric returns the fabric the simulation runs over.
+func (s *Sim) Fabric() *Fabric { return s.fab }
+
+// Flows returns every flow added so far (callers must not mutate).
+func (s *Sim) Flows() []*Flow { return s.flows }
+
+// SetProbe installs a sampling callback invoked at every multiple of the
+// period during Run, with the simulation state advanced exactly to the
+// probe instant. Install before Run; a nil fn disables probing.
+func (s *Sim) SetProbe(every sim.Time, fn func(now sim.Time, active []*Flow)) {
+	if fn != nil && every <= 0 {
+		panic(fmt.Sprintf("fluid: non-positive probe period %v", every))
+	}
+	s.probeFn = fn
+	s.probeEvery = every.Seconds()
+	s.nextProbe = s.probeEvery
 }
 
 // NewSim prepares a run over fab under the scheme convergence model.
@@ -139,6 +180,20 @@ func (s *Sim) Run(deadline sim.Time) *Result {
 		}
 		tf, fi := s.nextFinish(active, tau)
 		tf += t
+		if s.probeFn != nil && s.nextProbe <= ta && s.nextProbe <= tf {
+			// Probe instant precedes the next arrival/finish: advance the
+			// fluid state exactly to it and sample. Rates and targets are
+			// untouched (no water-filling pass), so probing perturbs only
+			// the float rounding of the split exponential integrals.
+			if s.nextProbe > horizon {
+				break
+			}
+			s.advance(active, s.nextProbe-t, tau)
+			t = s.nextProbe
+			s.probeFn(sim.FromSeconds(t), active)
+			s.nextProbe += s.probeEvery
+			continue
+		}
 		if ta <= tf {
 			// Arrival first (ties prefer the arrival so the newcomer
 			// competes for the remaining bytes of coincident finishers).

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/scenario"
@@ -21,9 +23,81 @@ type Runner struct {
 	CacheDir string
 	// Workers bounds the pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// OnProgress, when set, is invoked (serialized) after every job starts
+	// or finishes during RunAll, feeding live sweep progress displays. The
+	// callback must be fast; it runs on the worker goroutines under a lock.
+	OnProgress func(Progress)
 
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+// Progress is a point-in-time snapshot of a RunAll sweep.
+type Progress struct {
+	// Total is the sweep's job count; Done counts finished jobs, of which
+	// Cached were served from the disk cache. InFlight jobs are simulating
+	// right now.
+	Total, Done, Cached, InFlight int
+	// Events totals the engine events of the simulated (non-cached) jobs
+	// finished so far; EventsPerSec divides by the wall time since RunAll
+	// began, the sweep's aggregate simulation throughput.
+	Events       float64
+	EventsPerSec float64
+}
+
+// progressTracker serializes progress accounting across workers.
+type progressTracker struct {
+	mu      sync.Mutex
+	p       Progress
+	started time.Time
+	notify  func(Progress)
+}
+
+func newProgressTracker(total int, notify func(Progress)) *progressTracker {
+	if notify == nil {
+		return nil
+	}
+	return &progressTracker{
+		p:       Progress{Total: total},
+		started: time.Now(),
+		notify:  notify,
+	}
+}
+
+func (t *progressTracker) start() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.p.InFlight++
+	t.emit()
+	t.mu.Unlock()
+}
+
+func (t *progressTracker) finish(res *scenario.Result) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.p.InFlight--
+	t.p.Done++
+	if res != nil {
+		if res.Cached {
+			t.p.Cached++
+		} else {
+			t.p.Events += res.Metrics["engine_events"]
+		}
+	}
+	t.emit()
+	t.mu.Unlock()
+}
+
+// emit recomputes the throughput and fires the callback (mu held).
+func (t *progressTracker) emit() {
+	if dt := time.Since(t.started).Seconds(); dt > 0 {
+		t.p.EventsPerSec = t.p.Events / dt
+	}
+	t.notify(t.p)
 }
 
 // Stats reports how many jobs were served from cache vs simulated.
@@ -43,8 +117,11 @@ func (r *Runner) RunAll(specs []scenario.Spec) ([]*scenario.Result, error) {
 		res *scenario.Result
 		err error
 	}
+	tracker := newProgressTracker(len(specs), r.OnProgress)
 	outs := exp.ParallelMap(specs, r.Workers, func(sp scenario.Spec) out {
+		tracker.start()
 		res, err := r.runOne(sp)
+		tracker.finish(res)
 		return out{res, err}
 	})
 	results := make([]*scenario.Result, len(outs))

@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// telemetrySpec is a cheap incast with probes and a trace cap, used by the
+// cache and export tests.
+func telemetrySpec() scenario.Spec {
+	return scenario.Spec{
+		Name:   "probe-incast",
+		Kind:   scenario.KindIncast,
+		Scheme: "FNCC",
+		Workload: scenario.WorkloadSpec{
+			Fanout:    4,
+			FlowBytes: 20_000,
+		},
+		DurationUs: 1000,
+		Telemetry: &scenario.TelemetrySpec{
+			IntervalUs: 10,
+			Probes:     []string{"queue", "host"},
+			TraceCap:   128,
+		},
+	}
+}
+
+// TestCacheKeysUnchangedByTelemetryLayer pins cache keys captured before the
+// telemetry layer existed: specs without a telemetry block (or with an
+// all-zero one) must canonicalize byte-for-byte as they did then, so sweep
+// caches written by earlier builds stay valid.
+func TestCacheKeysUnchangedByTelemetryLayer(t *testing.T) {
+	pinned := map[string]string{
+		"micro":               "sc-1218277cd851ef43",
+		"incast":              "sc-02b9d8fa3da895a4",
+		"fct-websearch":       "sc-e425e895208612ba",
+		"fct-websearch-fluid": "sc-1fa72130dd448200",
+		"permutation-fluid":   "sc-9a99ba2eee414584",
+	}
+	for name, want := range pinned {
+		sp, err := scenario.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := sp.Hash(); got != want {
+			t.Errorf("%s: hash %s, want pre-telemetry %s", name, got, want)
+		}
+		// An explicit zero telemetry block normalizes away entirely.
+		sp.Telemetry = &scenario.TelemetrySpec{}
+		if got := sp.Hash(); got != want {
+			t.Errorf("%s: zero telemetry block changed hash to %s", name, got)
+		}
+		if sp.Normalized().Telemetry != nil {
+			t.Errorf("%s: zero telemetry block survived normalization", name)
+		}
+		// A configured block must change the key: sampled runs never share
+		// a cache entry with unsampled ones.
+		sp.Telemetry = &scenario.TelemetrySpec{IntervalUs: 10, Probes: []string{"queue"}}
+		if sp.BackendName() == scenario.BackendFluid {
+			sp.Telemetry.Probes = []string{"rate"}
+		}
+		if got := sp.Hash(); got == want {
+			t.Errorf("%s: telemetry-on spec kept the telemetry-off hash", name)
+		}
+	}
+}
+
+// TestTelemetryNormalization: probes sort and dedupe canonically.
+func TestTelemetryNormalization(t *testing.T) {
+	sp := telemetrySpec()
+	sp.Telemetry.Probes = []string{"queue", "host", "queue"}
+	n := sp.Normalized()
+	got := n.Telemetry.Probes
+	if len(got) != 2 || got[0] != "host" || got[1] != "queue" {
+		t.Fatalf("normalized probes = %v, want [host queue]", got)
+	}
+	// Normalization deep-copies: mutating the copy leaves the input alone.
+	n.Telemetry.Probes[0] = "mutated"
+	if sp.Telemetry.Probes[0] == "mutated" {
+		t.Fatal("Normalized aliases the input telemetry block")
+	}
+	// Probe order must not affect the cache key.
+	a, b := telemetrySpec(), telemetrySpec()
+	a.Telemetry.Probes = []string{"host", "queue"}
+	b.Telemetry.Probes = []string{"queue", "host", "host"}
+	if a.Hash() != b.Hash() {
+		t.Fatal("probe order changed the cache key")
+	}
+}
+
+func TestTelemetryValidation(t *testing.T) {
+	bad := telemetrySpec()
+	bad.Telemetry.IntervalUs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero interval with probes validated")
+	}
+	bad = telemetrySpec()
+	bad.Telemetry.Probes = []string{"rate"} // fluid-only probe on packet
+	if err := bad.Validate(); err == nil {
+		t.Error("fluid probe on packet backend validated")
+	}
+	fl := scenario.Spec{
+		Kind: scenario.KindIncast, Backend: scenario.BackendFluid,
+		Scheme:   "FNCC",
+		Workload: scenario.WorkloadSpec{Fanout: 4, FlowBytes: 20_000},
+		Telemetry: &scenario.TelemetrySpec{
+			IntervalUs: 10, Probes: []string{"rate", "link"},
+		},
+	}
+	if err := fl.Validate(); err != nil {
+		t.Errorf("fluid telemetry spec rejected: %v", err)
+	}
+	fl.Telemetry.Probes = []string{"queue"}
+	if err := fl.Validate(); err == nil {
+		t.Error("packet probe on fluid backend validated")
+	}
+	fl.Telemetry.Probes = []string{"rate"}
+	fl.Telemetry.TraceCap = 64
+	if err := fl.Validate(); err == nil {
+		t.Error("trace_cap on fluid backend validated")
+	}
+}
+
+// TestTelemetryPersistsThroughCache: a telemetry-bearing result round-trips
+// through the disk cache with its series and trace intact.
+func TestTelemetryPersistsThroughCache(t *testing.T) {
+	r := &Runner{CacheDir: t.TempDir()}
+	sp := telemetrySpec()
+	fresh, err := r.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("first run served from empty cache")
+	}
+	if fresh.Telemetry == nil || fresh.Telemetry.Samples == 0 {
+		t.Fatal("run produced no telemetry")
+	}
+	if fresh.Metrics["telemetry_samples"] == 0 {
+		t.Error("telemetry_samples metric missing")
+	}
+	if fresh.Telemetry.TraceTotal == 0 {
+		t.Error("flight recorder captured nothing")
+	}
+	hit, err := r.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("second run missed the cache")
+	}
+	if hit.Telemetry == nil {
+		t.Fatal("cache hit dropped the telemetry")
+	}
+	if hit.Telemetry.Samples != fresh.Telemetry.Samples ||
+		len(hit.Telemetry.Series) != len(fresh.Telemetry.Series) ||
+		hit.Telemetry.TraceTotal != fresh.Telemetry.TraceTotal {
+		t.Fatalf("cached telemetry differs: %d/%d/%d vs %d/%d/%d",
+			hit.Telemetry.Samples, len(hit.Telemetry.Series), hit.Telemetry.TraceTotal,
+			fresh.Telemetry.Samples, len(fresh.Telemetry.Series), fresh.Telemetry.TraceTotal)
+	}
+}
+
+func TestRunAllProgress(t *testing.T) {
+	specs, err := cheapSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var snaps []Progress
+	r := &Runner{CacheDir: dir, Workers: 2,
+		OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	if _, err := r.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2*len(specs) {
+		t.Fatalf("%d progress snapshots, want %d", len(snaps), 2*len(specs))
+	}
+	final := snaps[len(snaps)-1]
+	if final.Total != len(specs) || final.Done != len(specs) || final.InFlight != 0 {
+		t.Fatalf("final snapshot %+v", final)
+	}
+	if final.Cached != 0 || final.Events <= 0 || final.EventsPerSec <= 0 {
+		t.Fatalf("cold sweep counted %d cached, %v events", final.Cached, final.Events)
+	}
+	// A warm sweep reports every job cached and no new events.
+	var warm Progress
+	r2 := &Runner{CacheDir: dir, OnProgress: func(p Progress) { warm = p }}
+	if _, err := r2.RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cached != len(specs) || warm.Events != 0 {
+		t.Fatalf("warm sweep snapshot %+v", warm)
+	}
+}
+
+func TestExportTelemetry(t *testing.T) {
+	r := &Runner{}
+	res, err := r.Run(telemetrySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "series")
+	if err := ExportTelemetry(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "series.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "queue_bytes") {
+		t.Error("series.json has no queue series")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvs, traces int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csv"):
+			csvs++
+		case e.Name() == "trace.jsonl":
+			traces++
+		}
+	}
+	if csvs == 0 {
+		t.Error("no per-series CSV exported")
+	}
+	if traces != 1 {
+		t.Error("trace.jsonl not exported despite trace_cap")
+	}
+	// Sanity-check one CSV: header plus at least one row.
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), "time_us,value") {
+			t.Errorf("%s: missing CSV header", e.Name())
+		}
+		break
+	}
+
+	// Results without telemetry refuse to export.
+	plain := telemetrySpec()
+	plain.Telemetry = nil
+	pres, err := r.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportTelemetry(t.TempDir(), pres); err == nil {
+		t.Error("exported a result with no telemetry")
+	}
+}

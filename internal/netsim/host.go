@@ -37,6 +37,7 @@ type Flow struct {
 	finished   bool
 	retxEv     sim.Event
 	retxSnap   int64 // sndUna when the retx timer was armed
+	lastRate   int64 // last pacing rate reported to Network.Trace
 
 	// Receiver state.
 	credited int64 // bytes granted by receiver credits (credit schemes)
@@ -89,8 +90,18 @@ type Host struct {
 
 	activeInbound int // live inbound QPs: FNCC's N (Observation 4)
 
+	// Telemetry counters (cumulative; sampled by internal/telemetry).
+	cnpRx int64 // CNP frames received by this host's sender side
+	retx  int64 // go-back-N rewinds (NACK- or timeout-triggered)
+
 	pacerEv sim.Event
 }
+
+// CnpRx returns how many CNP frames this host has received.
+func (h *Host) CnpRx() int64 { return h.cnpRx }
+
+// RetxEvents returns how many go-back-N rewinds this host's flows took.
+func (h *Host) RetxEvents() int64 { return h.retx }
 
 // ID implements Node.
 func (h *Host) ID() int32 { return h.id }
@@ -135,6 +146,7 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	case packet.Ack, packet.Nack:
 		h.handleAck(pkt)
 	case packet.Cnp:
+		h.cnpRx++
 		if f, ok := h.byID[pkt.FlowID]; ok && !f.finished {
 			f.cc.OnCnp(f, h.net.Eng.Now())
 		}
@@ -254,6 +266,7 @@ func (h *Host) handleAck(a *packet.Packet) {
 		// Go-back-N rewind: resume from the receiver's cumulative point.
 		if f.sndNxt > f.sndUna {
 			f.sndNxt = f.sndUna
+			h.retx++
 		}
 	}
 
@@ -344,6 +357,15 @@ func (h *Host) sendSegment(f *Flow, payload int, now sim.Time) {
 	if rate < 1e6 {
 		rate = 1e6 // never stall completely: 1 Mbps floor
 	}
+	if h.net.Trace != nil && rate != f.lastRate {
+		f.lastRate = rate
+		h.net.Trace(TraceEvent{
+			Kind: TraceRateChange, At: now,
+			Node: h.id, Port: 0,
+			Type: pkt.Type, FlowID: f.ID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+			Rate: rate,
+		})
+	}
 	f.nextSendAt = now + sim.TxTime(pkt.SizeBytes(), rate)
 
 	if !f.retxEv.Pending() {
@@ -381,6 +403,7 @@ func flowRetxFired(v any) {
 	if f.sndUna == f.retxSnap && f.Inflight() > 0 {
 		// No progress for a full RTO with data outstanding: rewind.
 		f.sndNxt = f.sndUna
+		h.retx++
 		h.trySend()
 	}
 	h.armRetx(f)

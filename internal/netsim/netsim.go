@@ -149,6 +149,21 @@ type ReceiverCC interface {
 	WantCnp(data *packet.Packet, host *Host, now sim.Time) bool
 }
 
+// Observable is an optional SenderCC extension: a scheme that implements it
+// exposes named internal state variables (e.g. DCQCN's alpha, Swift's scaled
+// target delay) for time-series sampling by internal/telemetry. The contract
+// is allocation-free sampling: TelemetryVars is called once at probe attach,
+// TelemetrySample on every tick into a caller-owned scratch slice.
+type Observable interface {
+	// TelemetryVars names the exposed variables in sample order. The result
+	// must be stable for the flow's lifetime.
+	TelemetryVars() []string
+	// TelemetrySample writes the current value of each variable into out,
+	// which has at least len(TelemetryVars()) elements. Implementations must
+	// not allocate or mutate scheme state.
+	TelemetrySample(out []float64)
+}
+
 // CreditSink is an optional SenderCC extension for receiver-driven schemes:
 // the host delivers arriving Credit frames here.
 type CreditSink interface {

@@ -42,9 +42,12 @@ type Network struct {
 	// it (harnesses hang per-figure logic here).
 	OnFlowComplete func(f *Flow, at sim.Time)
 
-	// Trace, when set, observes every frame transmission start and every
-	// drop fabric-wide (see internal/trace for recorders). Leave nil in
-	// performance-sensitive runs.
+	// Trace, when set, observes typed events fabric-wide: frame
+	// transmissions, drops, enqueues/dequeues, ECN marks, PFC
+	// pause/resume and sender rate changes (see TraceEventKind and
+	// internal/trace for recorders). Every emit site nil-checks this
+	// field, so the disabled path costs one predictable branch; leave nil
+	// in performance-sensitive runs.
 	Trace func(ev TraceEvent)
 }
 
@@ -57,7 +60,40 @@ const (
 	TraceTx TraceEventKind = iota
 	// TraceDrop is a data frame lost to buffer exhaustion.
 	TraceDrop
+	// TraceEnqueue is a data frame appended to a switch egress queue.
+	TraceEnqueue
+	// TraceDequeue is a data frame leaving a switch egress queue.
+	TraceDequeue
+	// TraceMark is a data frame ECN-marked by the congestion-point hook.
+	TraceMark
+	// TracePause is a PFC PAUSE emitted toward an upstream device (Seq
+	// carries the priority class).
+	TracePause
+	// TraceResume is the matching PFC RESUME (Seq carries the class).
+	TraceResume
+	// TraceRateChange is a sender picking a new pacing rate for a flow
+	// (Rate carries the new value in bits/s).
+	TraceRateChange
 )
+
+var traceKindNames = [...]string{
+	TraceTx:         "tx",
+	TraceDrop:       "drop",
+	TraceEnqueue:    "enq",
+	TraceDequeue:    "deq",
+	TraceMark:       "mark",
+	TracePause:      "pause",
+	TraceResume:     "resume",
+	TraceRateChange: "rate",
+}
+
+// String returns the kind's short name as used in rendered traces.
+func (k TraceEventKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
 
 // TraceEvent is one observation delivered to Network.Trace.
 type TraceEvent struct {
@@ -71,6 +107,8 @@ type TraceEvent struct {
 	FlowID uint64
 	Seq    int64
 	Size   int
+	// Rate is the new pacing rate for TraceRateChange events (bits/s).
+	Rate int64
 }
 
 // New builds an empty network with the given configuration and scheme.

@@ -31,7 +31,7 @@ func TestQuickPacingRespectsRate(t *testing.T) {
 		var last sim.Time = -1
 		ok := true
 		n.Trace = func(ev TraceEvent) {
-			if ev.Type != packet.Data || ev.Node != h0.ID() {
+			if ev.Kind != TraceTx || ev.Type != packet.Data || ev.Node != h0.ID() {
 				return
 			}
 			if last >= 0 && ev.At-last < minGap {
@@ -63,7 +63,7 @@ func TestPacingRateChangeTakesEffect(t *testing.T) {
 	var gaps []sim.Time
 	var last sim.Time = -1
 	n.Trace = func(ev TraceEvent) {
-		if ev.Type != packet.Data {
+		if ev.Kind != TraceTx || ev.Type != packet.Data {
 			return
 		}
 		if last >= 0 {

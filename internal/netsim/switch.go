@@ -35,6 +35,9 @@ type Switch struct {
 	ResumeFrames int64
 	// Drops counts data frames lost to shared-buffer exhaustion.
 	Drops int64
+	// EcnMarks counts data frames the congestion-point hook ECN-marked at
+	// this switch (sampled by internal/telemetry).
+	EcnMarks int64
 }
 
 // ID implements Node.
@@ -144,7 +147,25 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 
 	s.ports[outPort].enqueue(pkt)
 	if pkt.Type == packet.Data {
+		if s.net.Trace != nil {
+			s.net.Trace(TraceEvent{
+				Kind: TraceEnqueue, At: s.net.Eng.Now(),
+				Node: s.id, Port: outPort,
+				Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+			})
+		}
+		wasECN := pkt.ECN
 		s.hook.OnEnqueue(s, pkt, outPort)
+		if pkt.ECN && !wasECN {
+			s.EcnMarks++
+			if s.net.Trace != nil {
+				s.net.Trace(TraceEvent{
+					Kind: TraceMark, At: s.net.Eng.Now(),
+					Node: s.id, Port: outPort,
+					Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+				})
+			}
+		}
 	}
 }
 
@@ -162,6 +183,13 @@ func (s *Switch) onPortDequeue(p *Port, pkt *packet.Packet) {
 		}
 	}
 	s.hook.OnDequeue(s, pkt, p.index)
+	if pkt.Type == packet.Data && s.net.Trace != nil {
+		s.net.Trace(TraceEvent{
+			Kind: TraceDequeue, At: s.net.Eng.Now(),
+			Node: s.id, Port: p.index,
+			Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
+		})
+	}
 }
 
 func (s *Switch) clampClass(c int) int {
@@ -180,6 +208,13 @@ func (s *Switch) checkPause(inPort, class int) {
 	s.upstreamPaused[inPort][class] = true
 	s.PauseFrames++
 	s.net.PauseFrames.Inc()
+	if s.net.Trace != nil {
+		s.net.Trace(TraceEvent{
+			Kind: TracePause, At: s.net.Eng.Now(),
+			Node: s.id, Port: inPort,
+			Type: packet.PfcPause, Seq: int64(class),
+		})
+	}
 	pf := s.net.Pool.Get()
 	pf.Type, pf.PauseClass = packet.PfcPause, uint8(class)
 	s.ports[inPort].enqueue(pf)
@@ -193,6 +228,13 @@ func (s *Switch) checkResume(inPort, class int) {
 	}
 	s.upstreamPaused[inPort][class] = false
 	s.ResumeFrames++
+	if s.net.Trace != nil {
+		s.net.Trace(TraceEvent{
+			Kind: TraceResume, At: s.net.Eng.Now(),
+			Node: s.id, Port: inPort,
+			Type: packet.PfcResume, Seq: int64(class),
+		})
+	}
 	pf := s.net.Pool.Get()
 	pf.Type, pf.PauseClass = packet.PfcResume, uint8(class)
 	s.ports[inPort].enqueue(pf)

@@ -12,8 +12,28 @@ import (
 
 	"repro/internal/fluid"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// attachFluidProbe wires the spec's telemetry block (if any) to a fluid sim
+// for a run spanning the given horizon. Must be called after every AddFlow:
+// the probe snapshots the flow set at attach time.
+func attachFluidProbe(s *fluid.Sim, sp Spec, span sim.Time) *telemetry.FluidProbe {
+	cfg := sp.Telemetry.Config()
+	if cfg == nil {
+		return nil
+	}
+	return telemetry.AttachFluid(s, *cfg, telemetry.Samples(span, cfg.Interval))
+}
+
+// fluidProbeOutput extracts a fluid probe's output (nil-safe).
+func fluidProbeOutput(tp *telemetry.FluidProbe) *telemetry.Output {
+	if tp == nil {
+		return nil
+	}
+	return tp.Output()
+}
 
 // fluidModel resolves the spec's rate-convergence model: the per-scheme
 // calibration by default, or the explicit fluid_tau_rtts cc override
@@ -46,18 +66,18 @@ func fluidPerfMetrics(m map[string]float64, st fluid.Stats) {
 // runFCTFluid is the fluid twin of runFCT: identical Poisson workload
 // (same CDF, load, seed, horizon, flow IDs), FCT slowdowns from max-min
 // rate sharing instead of per-packet simulation.
-func runFCTFluid(sp Spec) (map[string]float64, error) {
+func runFCTFluid(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	fb, err := fluidFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := fluidModel(sp, fb.BaseRTT)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cdf, ok := workload.ByName(sp.Workload.CDF)
 	if !ok {
-		return nil, fmt.Errorf("unknown workload CDF %q", sp.Workload.CDF)
+		return nil, nil, fmt.Errorf("unknown workload CDF %q", sp.Workload.CDF)
 	}
 	horizon := sp.Duration()
 	flows, err := workload.Generate(workload.GenConfig{
@@ -70,14 +90,15 @@ func runFCTFluid(sp Spec) (map[string]float64, error) {
 		FirstID:   1,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := fluid.NewSim(fb, model)
 	for _, fs := range flows {
 		if _, err := s.AddFlow(fs.ID, fs.SrcHost, fs.DstHost, fs.SizeBytes, fs.Start); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	tp := attachFluidProbe(s, sp, horizon*11)
 	res := s.Run(horizon * 11) // horizon + 10x drain, like exp.RunFCT
 	m := map[string]float64{
 		"completed":    float64(res.Completed),
@@ -86,14 +107,14 @@ func runFCTFluid(sp Spec) (map[string]float64, error) {
 	}
 	slowdownMetrics(m, res.FCT)
 	fluidPerfMetrics(m, res.Stats)
-	return m, nil
+	return m, fluidProbeOutput(tp), nil
 }
 
 // runIncastFluid is the fluid twin of runIncast: Fanout senders behind the
 // last-hop switch of the 3-switch chain, one BytesPerSender flow each. The
 // receiver access link is the single bottleneck; max-min shares it equally,
 // so jain_min is 1 by construction (reported for table parity).
-func runIncastFluid(sp Spec) (map[string]float64, error) {
+func runIncastFluid(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	attach := make([]int, sp.Workload.Fanout)
 	for i := range attach {
 		attach[i] = sp.Topo.Switches - 1
@@ -105,19 +126,20 @@ func runIncastFluid(sp Spec) (map[string]float64, error) {
 		Delay:        sp.Topo.Delay(),
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := fluidModel(sp, fb.BaseRTT)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s := fluid.NewSim(fb, model)
 	receiver := fb.Hosts - 1
 	for i := 0; i < sp.Workload.Fanout; i++ {
 		if _, err := s.AddFlow(uint64(i+1), i, receiver, sp.Workload.FlowBytes, 0); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	tp := attachFluidProbe(s, sp, sp.Duration())
 	res := s.Run(sp.Duration())
 	m := map[string]float64{
 		"all_done_us": -1,
@@ -127,19 +149,19 @@ func runIncastFluid(sp Spec) (map[string]float64, error) {
 		m["all_done_us"] = timeUs(maxFinish(res))
 	}
 	fluidPerfMetrics(m, res.Stats)
-	return m, nil
+	return m, fluidProbeOutput(tp), nil
 }
 
 // runPermutationFluid mirrors runPermutation's flow set exactly (IDs drive
 // ECMP placement, so collisions land on the same fabric links as packet).
-func runPermutationFluid(sp Spec) (map[string]float64, error) {
+func runPermutationFluid(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	fb, err := fluidFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := fluidModel(sp, fb.BaseRTT)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hosts := fb.Hosts
 	shift := sp.Workload.Shift
@@ -147,27 +169,28 @@ func runPermutationFluid(sp Spec) (map[string]float64, error) {
 		shift = hosts / 2
 	}
 	if shift%hosts == 0 {
-		return nil, fmt.Errorf("permutation shift %d maps hosts to themselves", shift)
+		return nil, nil, fmt.Errorf("permutation shift %d maps hosts to themselves", shift)
 	}
 	s := fluid.NewSim(fb, model)
 	for i := 0; i < hosts; i++ {
 		if _, err := s.AddFlow(uint64(i+1), i, (i+shift)%hosts, sp.Workload.FlowBytes, 0); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	tp := attachFluidProbe(s, sp, sp.Duration())
 	res := s.Run(sp.Duration())
-	return fluidFabricMetrics(res), nil
+	return fluidFabricMetrics(res), fluidProbeOutput(tp), nil
 }
 
 // runAllToAllFluid mirrors runAllToAll's shuffle flow set.
-func runAllToAllFluid(sp Spec) (map[string]float64, error) {
+func runAllToAllFluid(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	fb, err := fluidFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := fluidModel(sp, fb.BaseRTT)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hosts := fb.Hosts
 	s := fluid.NewSim(fb, model)
@@ -178,13 +201,14 @@ func runAllToAllFluid(sp Spec) (map[string]float64, error) {
 				continue
 			}
 			if _, err := s.AddFlow(id, src, dst, sp.Workload.FlowBytes, 0); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			id++
 		}
 	}
+	tp := attachFluidProbe(s, sp, sp.Duration())
 	res := s.Run(sp.Duration())
-	return fluidFabricMetrics(res), nil
+	return fluidFabricMetrics(res), fluidProbeOutput(tp), nil
 }
 
 // fluidFabricMetrics folds a fluid pattern run into the flat metric map the

@@ -36,6 +36,11 @@ func FuzzSpecRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"kind":"fct","scheme":"HPCC","cc":{"eta":0.9},"topo":{"oversub":1}}`))
 	f.Add([]byte(`{"kind":"hop","scheme":"DCQCN","hop":"middle"}`))
 	f.Add([]byte(`{"kind":"fct","scheme":"FNCC","load":1e-3,"seed":9007199254740993}`))
+	// Telemetry-bearing specs: packet probes, fluid probes, and a block that
+	// needs normalization (duplicate probes) plus a trace cap.
+	f.Add([]byte(`{"kind":"incast","scheme":"FNCC","telemetry":{"interval_us":10,"probes":["queue","host"]}}`))
+	f.Add([]byte(`{"kind":"incast","backend":"fluid","scheme":"FNCC","telemetry":{"interval_us":50,"probes":["rate","link"]}}`))
+	f.Add([]byte(`{"kind":"micro","scheme":"DCQCN","telemetry":{"interval_us":5,"probes":["cc","queue","cc"],"trace_cap":256}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sp, err := ParseSpec(data)

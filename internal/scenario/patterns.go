@@ -11,9 +11,29 @@ import (
 	"repro/internal/exp"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
+
+// attachNetProbe wires the spec's telemetry block (if any) to a fat-tree
+// fabric for a run spanning the given horizon.
+func attachNetProbe(ft *topo.FatTree, sp Spec, span sim.Time) *telemetry.NetProbe {
+	cfg := sp.Telemetry.Config()
+	if cfg == nil {
+		return nil
+	}
+	return telemetry.AttachNet(ft.Net, *cfg, telemetry.Samples(span, cfg.Interval))
+}
+
+// probeOutput stops a probe and extracts its output (nil-safe).
+func probeOutput(tp *telemetry.NetProbe) *telemetry.Output {
+	if tp == nil {
+		return nil
+	}
+	tp.Stop()
+	return tp.Output()
+}
 
 // buildFatTree constructs the spec's fat-tree with the (possibly overridden)
 // scheme installed and the seed threaded into fabric randomness.
@@ -59,11 +79,11 @@ func fabricMetrics(ft *topo.FatTree, generated int, done bool) map[string]float6
 // (default hosts/2, i.e. always cross-pod on a fat-tree): an admissible
 // pattern — every host sends and receives exactly once — that exercises
 // every tier of the fabric simultaneously.
-func runPermutation(sp Spec) (map[string]float64, error) {
+func runPermutation(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hosts := len(ft.Hosts)
 	shift := sp.Workload.Shift
@@ -71,26 +91,28 @@ func runPermutation(sp Spec) (map[string]float64, error) {
 		shift = hosts / 2
 	}
 	if shift%hosts == 0 {
-		return nil, fmt.Errorf("permutation shift %d maps hosts to themselves", shift)
+		return nil, nil, fmt.Errorf("permutation shift %d maps hosts to themselves", shift)
 	}
 	for i := 0; i < hosts; i++ {
 		ft.AddFlow(uint64(i+1), i, (i+shift)%hosts, sp.Workload.FlowBytes, 0)
 	}
+	tp := attachNetProbe(ft, sp, sp.Duration())
 	done := ft.Net.RunToCompletion(sp.Duration())
+	tel := probeOutput(tp)
 	m := fabricMetrics(ft, hosts, done)
 	perfMetrics(m, probe.End(ft.Net))
-	return m, nil
+	return m, tel, nil
 }
 
 // runAllToAll is the shuffle: every host sends FlowBytes to every other
 // host, all starting at t=0. Each host simultaneously fans out to and
 // receives from hosts-1 peers, the worst admissible stress the fabric
 // supports.
-func runAllToAll(sp Spec) (map[string]float64, error) {
+func runAllToAll(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hosts := len(ft.Hosts)
 	id := uint64(1)
@@ -103,29 +125,31 @@ func runAllToAll(sp Spec) (map[string]float64, error) {
 			id++
 		}
 	}
+	tp := attachNetProbe(ft, sp, sp.Duration())
 	done := ft.Net.RunToCompletion(sp.Duration())
+	tel := probeOutput(tp)
 	m := fabricMetrics(ft, hosts*(hosts-1), done)
 	perfMetrics(m, probe.End(ft.Net))
-	return m, nil
+	return m, tel, nil
 }
 
 // runMixed layers periodic Fanout-to-1 incast bursts (every BurstEveryUs,
 // victim host 0) over an open-loop Poisson background at Load, the
 // composite pattern production fabrics actually see. The run drains after
 // the arrival horizon like the FCT experiment.
-func runMixed(sp Spec) (map[string]float64, error) {
+func runMixed(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	probe := exp.BeginPerf()
 	ft, err := buildFatTree(sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hosts := len(ft.Hosts)
 	if sp.Workload.Fanout >= hosts {
-		return nil, fmt.Errorf("mixed fanout %d needs < %d hosts", sp.Workload.Fanout, hosts)
+		return nil, nil, fmt.Errorf("mixed fanout %d needs < %d hosts", sp.Workload.Fanout, hosts)
 	}
 	cdf, ok := workload.ByName(sp.Workload.CDF)
 	if !ok {
-		return nil, fmt.Errorf("unknown workload CDF %q", sp.Workload.CDF)
+		return nil, nil, fmt.Errorf("unknown workload CDF %q", sp.Workload.CDF)
 	}
 	horizon := sp.Duration()
 	flows, err := workload.Generate(workload.GenConfig{
@@ -138,7 +162,7 @@ func runMixed(sp Spec) (map[string]float64, error) {
 		FirstID:   1,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, fs := range flows {
 		ft.AddFlow(fs.ID, fs.SrcHost, fs.DstHost, fs.SizeBytes, fs.Start)
@@ -154,10 +178,12 @@ func runMixed(sp Spec) (map[string]float64, error) {
 			burstFlows++
 		}
 	}
+	tp := attachNetProbe(ft, sp, horizon*11)
 	done := ft.Net.RunToCompletion(horizon * 11) // horizon + 10x drain
+	tel := probeOutput(tp)
 	m := fabricMetrics(ft, len(flows)+burstFlows, done)
 	m["burst_flows"] = float64(burstFlows)
 	m["offered_load"] = workload.OfferedLoad(flows, hosts, sp.Topo.RateBps(), horizon)
 	perfMetrics(m, probe.End(ft.Net))
-	return m, nil
+	return m, tel, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Result is one executed scenario: its provenance (normalized spec + hash)
@@ -19,6 +20,10 @@ type Result struct {
 	Spec    Spec               `json:"spec"`
 	Hash    string             `json:"hash"`
 	Metrics map[string]float64 `json:"metrics"`
+	// Telemetry carries the probe series and event trace when the spec has
+	// a telemetry block; nil otherwise. It round-trips through the harness
+	// cache with the rest of the result.
+	Telemetry *telemetry.Output `json:"telemetry,omitempty"`
 	// Cached reports whether the harness served this result from its disk
 	// cache instead of simulating.
 	Cached bool `json:"-"`
@@ -51,6 +56,9 @@ var knownMetrics = map[string]bool{
 	"engine_events": true, "engine_events_per_sec": true,
 	"event_reuse_rate": true, "pool_hit_rate": true,
 	"mallocs_per_run": true, "alloc_bytes_per_run": true,
+	// Telemetry bookkeeping, present only when the spec has a telemetry
+	// block: probe samples recorded and trace events captured.
+	"telemetry_samples": true, "trace_events": true,
 }
 
 // perfMetrics folds a runner's PerfStats into the flat metric map.
@@ -145,52 +153,58 @@ func Run(sp Spec) (*Result, error) {
 	n := sp.Normalized()
 	var (
 		m   map[string]float64
+		tel *telemetry.Output
 		err error
 	)
 	if n.BackendName() == BackendFluid {
 		switch n.Kind {
 		case KindFCT:
-			m, err = runFCTFluid(n)
+			m, tel, err = runFCTFluid(n)
 		case KindIncast:
-			m, err = runIncastFluid(n)
+			m, tel, err = runIncastFluid(n)
 		case KindPermutation:
-			m, err = runPermutationFluid(n)
+			m, tel, err = runPermutationFluid(n)
 		case KindAllToAll:
-			m, err = runAllToAllFluid(n)
+			m, tel, err = runAllToAllFluid(n)
 		default:
 			// Unreachable: Validate rejects fluid for other kinds.
 			err = fmt.Errorf("scenario: kind %q has no fluid runner", n.Kind)
 		}
-		return finishRun(n, m, err)
+		return finishRun(n, m, tel, err)
 	}
 	switch n.Kind {
 	case KindMicro:
-		m, err = runMicro(n)
+		m, tel, err = runMicro(n)
 	case KindHop:
-		m, err = runHop(n)
+		m, tel, err = runHop(n)
 	case KindFairness:
-		m, err = runFairness(n)
+		m, tel, err = runFairness(n)
 	case KindFCT:
-		m, err = runFCT(n)
+		m, tel, err = runFCT(n)
 	case KindIncast:
-		m, err = runIncast(n)
+		m, tel, err = runIncast(n)
 	case KindPermutation:
-		m, err = runPermutation(n)
+		m, tel, err = runPermutation(n)
 	case KindAllToAll:
-		m, err = runAllToAll(n)
+		m, tel, err = runAllToAll(n)
 	case KindMixed:
-		m, err = runMixed(n)
+		m, tel, err = runMixed(n)
 	default:
 		err = fmt.Errorf("scenario: unknown kind %q", n.Kind)
 	}
-	return finishRun(n, m, err)
+	return finishRun(n, m, tel, err)
 }
 
-// finishRun wraps errors with the run identity and applies the Collect
-// filter, shared by the packet and fluid dispatch paths.
-func finishRun(n Spec, m map[string]float64, err error) (*Result, error) {
+// finishRun wraps errors with the run identity, folds telemetry bookkeeping
+// into the metric map, and applies the Collect filter, shared by the packet
+// and fluid dispatch paths.
+func finishRun(n Spec, m map[string]float64, tel *telemetry.Output, err error) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s/%s/%s: %w", n.Kind, n.BackendName(), n.Scheme, err)
+	}
+	if tel != nil {
+		m["telemetry_samples"] = float64(tel.Samples)
+		m["trace_events"] = float64(tel.TraceTotal)
 	}
 	if len(n.Collect) > 0 {
 		keep := make(map[string]float64, len(n.Collect))
@@ -201,17 +215,18 @@ func finishRun(n Spec, m map[string]float64, err error) (*Result, error) {
 		}
 		m = keep
 	}
-	return &Result{Spec: n, Hash: n.Hash(), Metrics: m}, nil
+	return &Result{Spec: n, Hash: n.Hash(), Metrics: m, Telemetry: tel}, nil
 }
 
-func runMicro(sp Spec) (map[string]float64, error) {
+func runMicro(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg := exp.DefaultMicroConfig(sp.Scheme, sp.Topo.RateBps())
 	cfg.Senders = sp.Topo.Senders
 	cfg.Duration = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
+	cfg.Telemetry = sp.Telemetry.Config()
 	r, err := exp.RunMicro(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := map[string]float64{
 		"queue_peak_bytes":  r.QueuePeak,
@@ -222,17 +237,18 @@ func runMicro(sp Spec) (map[string]float64, error) {
 		"first_slowdown_us": timeUs(r.FirstSlowdown),
 	}
 	perfMetrics(m, r.Perf)
-	return m, nil
+	return m, r.Telemetry, nil
 }
 
-func runHop(sp Spec) (map[string]float64, error) {
+func runHop(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg := exp.DefaultHopConfig(sp.Scheme, exp.HopPosition(sp.Hop))
 	cfg.RateBps = sp.Topo.RateBps()
 	cfg.Duration = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
+	cfg.Telemetry = sp.Telemetry.Config()
 	r, err := exp.RunHop(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := map[string]float64{
 		"queue_peak_bytes": r.QueuePeak,
@@ -240,28 +256,29 @@ func runHop(sp Spec) (map[string]float64, error) {
 		"lhcs_triggers":    float64(r.LHCSTriggers),
 	}
 	perfMetrics(m, r.Perf)
-	return m, nil
+	return m, r.Telemetry, nil
 }
 
-func runFairness(sp Spec) (map[string]float64, error) {
+func runFairness(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg := exp.DefaultFairnessConfig(sp.Scheme)
 	cfg.Senders = sp.Topo.Senders
 	cfg.RateBps = sp.Topo.RateBps()
 	cfg.Stagger = sim.Time(sp.Workload.StaggerUs) * sim.Microsecond
 	cfg.MakeScheme = schemeBuilder(sp)
+	cfg.Telemetry = sp.Telemetry.Config()
 	r, err := exp.RunFairness(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := map[string]float64{
 		"jain_all_active": r.JainAllActive,
 		"duration_us":     timeUs(r.Duration),
 	}
 	perfMetrics(m, r.Perf)
-	return m, nil
+	return m, r.Telemetry, nil
 }
 
-func runFCT(sp Spec) (map[string]float64, error) {
+func runFCT(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg := exp.FCTConfig{
 		Scheme:      sp.Scheme,
 		K:           sp.Topo.K,
@@ -273,10 +290,11 @@ func runFCT(sp Spec) (map[string]float64, error) {
 		Seed:        sp.Seed,
 		CoreRateBps: sp.Topo.CoreRateBps(),
 		MakeScheme:  schemeBuilder(sp),
+		Telemetry:   sp.Telemetry.Config(),
 	}
 	r, err := exp.RunFCT(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := map[string]float64{
 		"completed":    float64(r.Completed),
@@ -287,19 +305,20 @@ func runFCT(sp Spec) (map[string]float64, error) {
 	}
 	slowdownMetrics(m, r.Collector)
 	perfMetrics(m, r.Perf)
-	return m, nil
+	return m, r.Telemetry, nil
 }
 
-func runIncast(sp Spec) (map[string]float64, error) {
+func runIncast(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg := exp.DefaultIncastConfig(sp.Scheme)
 	cfg.Fanout = sp.Workload.Fanout
 	cfg.BytesPerSender = sp.Workload.FlowBytes
 	cfg.RateBps = sp.Topo.RateBps()
 	cfg.Deadline = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
+	cfg.Telemetry = sp.Telemetry.Config()
 	r, err := exp.RunIncast(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := map[string]float64{
 		"queue_peak_bytes": float64(r.QueuePeak),
@@ -309,7 +328,7 @@ func runIncast(sp Spec) (map[string]float64, error) {
 		"lhcs_triggers":    float64(r.LHCSTriggers),
 	}
 	perfMetrics(m, r.Perf)
-	return m, nil
+	return m, r.Telemetry, nil
 }
 
 // slowdownMetrics folds a collector's whole-range slowdown distribution into

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -187,6 +188,45 @@ type Spec struct {
 	Hop string `json:"hop,omitempty"`
 	// Collect filters the metrics kept in the Result; empty keeps all.
 	Collect []string `json:"collect,omitempty"`
+	// Telemetry opts the run into in-simulation probes and event tracing.
+	// Nil (or an all-zero block) means off and normalizes away, so specs
+	// without telemetry keep their pre-telemetry canonical encoding and
+	// hash. A configured block is part of the content hash: sampled runs
+	// never share a cache entry with unsampled ones.
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+}
+
+// TelemetrySpec is the spec-level telemetry block (see internal/telemetry).
+type TelemetrySpec struct {
+	// IntervalUs is the sampling period in microseconds.
+	IntervalUs int64 `json:"interval_us,omitempty"`
+	// Probes selects the probe classes to sample; the backend's supported
+	// set is enforced at validation (packet: queue, switch, host, cc;
+	// fluid: rate, link).
+	Probes []string `json:"probes,omitempty"`
+	// TraceCap bounds the event flight-recorder (packet backend only).
+	TraceCap int `json:"trace_cap,omitempty"`
+}
+
+// Config converts the block to the runtime telemetry configuration.
+func (t *TelemetrySpec) Config() *telemetry.Config {
+	if t == nil {
+		return nil
+	}
+	return &telemetry.Config{
+		Interval: sim.Time(t.IntervalUs) * sim.Microsecond,
+		Probes:   t.Probes,
+		TraceCap: t.TraceCap,
+	}
+}
+
+// SupportedProbes returns the probe classes the spec's backend can sample
+// (used by `fnccbench show` and telemetry validation).
+func (s Spec) SupportedProbes() []string {
+	if s.BackendName() == BackendFluid {
+		return telemetry.FluidProbes()
+	}
+	return telemetry.PacketProbes()
 }
 
 // Duration converts DurationUs to simulation time.
@@ -273,6 +313,26 @@ func (s Spec) Normalized() Spec {
 		c := append([]string(nil), n.Collect...)
 		sort.Strings(c)
 		n.Collect = c
+	}
+	if n.Telemetry != nil {
+		t := *n.Telemetry // deep copy: Normalized must not alias the input
+		if len(t.Probes) > 0 {
+			ps := append([]string(nil), t.Probes...)
+			sort.Strings(ps)
+			w := 0
+			for i, p := range ps {
+				if i == 0 || p != ps[i-1] {
+					ps[w] = p
+					w++
+				}
+			}
+			t.Probes = ps[:w]
+		}
+		if t.IntervalUs == 0 && len(t.Probes) == 0 && t.TraceCap == 0 {
+			n.Telemetry = nil // all-zero block == off: hash as if absent
+		} else {
+			n.Telemetry = &t
+		}
 	}
 	return n
 }
@@ -402,6 +462,15 @@ func (s Spec) Validate() error {
 	for _, c := range n.Collect {
 		if !knownMetrics[c] {
 			return fmt.Errorf("scenario: unknown metric %q in collect", c)
+		}
+	}
+	if n.Telemetry != nil {
+		if err := n.Telemetry.Config().Validate(n.SupportedProbes()); err != nil {
+			return fmt.Errorf("scenario: backend %q: %w", n.BackendName(), err)
+		}
+		if n.BackendName() == BackendFluid && n.Telemetry.TraceCap != 0 {
+			return fmt.Errorf("scenario: event tracing is packet-level; backend %q rejects trace_cap",
+				BackendFluid)
 		}
 	}
 	return n.validateKnobUse()

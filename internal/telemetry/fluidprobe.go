@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/sim"
+)
+
+// FluidProbe samples a fluid-backend run: per-flow granted rate ("rate")
+// and per-link occupancy ("link", the sum of active-flow rates over the
+// link's capacity). It installs itself as the Sim's probe callback, which
+// the fluid event loop invokes with the state advanced exactly to each
+// sample instant. Attach after every AddFlow and before Run.
+type FluidProbe struct {
+	rec *Recorder
+
+	flowCol map[uint64]int // flow ID -> rate column
+	linkCol []int          // link index -> occupancy column (nil: off)
+	linkBps []float64
+	occ     []float64 // per-link rate accumulator, reused each tick
+}
+
+// AttachFluid installs probes on s per cfg, with ring capacity slots (see
+// Samples). It returns nil when the config selects no fluid probe class.
+func AttachFluid(s *fluid.Sim, cfg Config, capacity int) *FluidProbe {
+	if !cfg.Enabled() || (!cfg.Has(ProbeRate) && !cfg.Has(ProbeLink)) {
+		return nil
+	}
+	p := &FluidProbe{rec: NewRecorder(cfg.Interval, capacity)}
+	if cfg.Has(ProbeRate) {
+		flows := s.Flows()
+		p.flowCol = make(map[uint64]int, len(flows))
+		for _, f := range flows {
+			p.flowCol[f.ID] = p.rec.AddColumn(fmt.Sprintf("flow%d/rate_bps", f.ID))
+		}
+	}
+	if cfg.Has(ProbeLink) {
+		fab := s.Fabric()
+		p.linkBps = fab.LinkBps
+		p.linkCol = make([]int, len(fab.LinkBps))
+		for l := range fab.LinkBps {
+			p.linkCol[l] = p.rec.AddColumn(fmt.Sprintf("link%d/occupancy", l))
+		}
+	}
+	p.occ = make([]float64, len(p.linkBps))
+	s.SetProbe(cfg.Interval, p.observe)
+	return p
+}
+
+// observe is the Sim probe callback: record each active flow's rate and
+// accumulate per-link occupancy. Flows not active this tick read as 0.
+func (p *FluidProbe) observe(now sim.Time, active []*fluid.Flow) {
+	slot := p.rec.Begin(now)
+	for i := range p.occ {
+		p.occ[i] = 0
+	}
+	for _, f := range active {
+		r := f.RateBps()
+		if p.flowCol != nil {
+			if c, ok := p.flowCol[f.ID]; ok {
+				p.rec.Put(slot, c, r)
+			}
+		}
+		if p.linkCol != nil {
+			for _, l := range f.Path() {
+				p.occ[l] += r
+			}
+		}
+	}
+	for l, c := range p.linkCol {
+		p.rec.Put(slot, c, p.occ[l]/p.linkBps[l])
+	}
+}
+
+// Samples returns how many probe ticks have fired so far.
+func (p *FluidProbe) Samples() int { return p.rec.Samples() }
+
+// Output exports the retained sample window.
+func (p *FluidProbe) Output() *Output { return p.rec.Output() }

@@ -92,12 +92,8 @@ func (r *Recorder) Drops() []netsim.TraceEvent {
 func (r *Recorder) String() string {
 	var b strings.Builder
 	for _, ev := range r.Events() {
-		kind := "tx  "
-		if ev.Kind == netsim.TraceDrop {
-			kind = "drop"
-		}
-		fmt.Fprintf(&b, "%12s %s node=%d port=%d %s flow=%d seq=%d %dB\n",
-			ev.At, kind, ev.Node, ev.Port, ev.Type, ev.FlowID, ev.Seq, ev.Size)
+		fmt.Fprintf(&b, "%12s %-6s node=%d port=%d %s flow=%d seq=%d %dB\n",
+			ev.At, ev.Kind, ev.Node, ev.Port, ev.Type, ev.FlowID, ev.Seq, ev.Size)
 	}
 	return b.String()
 }
