@@ -28,23 +28,38 @@ func testFabric(linkBps []float64, routes map[[2]int][]int) *Fabric {
 // TestWaterfillClassic pins the textbook max-min example: flow A on link 0
 // (cap 1), flow B on links 0+1 (caps 1, 2), flow C on link 1. Progressive
 // filling gives A=B=0.5 (link 0 bottleneck) and C=1.5 (link 1 remainder).
+// Both solvers — the global full pass and the worklist relaxation from a
+// cold start — must land on that fixed point.
 func TestWaterfillClassic(t *testing.T) {
-	fb := testFabric([]float64{1, 2}, map[[2]int][]int{
-		{0, 4}: {0}, {1, 5}: {0, 1}, {2, 6}: {1},
-	})
-	s := NewSim(fb, Instant())
-	a, _ := s.AddFlow(1, 0, 4, 1000, 0)
-	b, _ := s.AddFlow(2, 1, 5, 1000, 0)
-	c, _ := s.AddFlow(3, 2, 6, 1000, 0)
-	s.waterfill([]*Flow{a, b, c})
-	for _, tc := range []struct {
-		f    *Flow
-		want float64
-	}{{a, 0.5}, {b, 0.5}, {c, 1.5}} {
-		if math.Abs(tc.f.target-tc.want) > 1e-9 {
-			t.Errorf("flow %d target %g, want %g", tc.f.ID, tc.f.target, tc.want)
+	build := func() (*Sim, [3]*Flow) {
+		fb := testFabric([]float64{1, 2}, map[[2]int][]int{
+			{0, 4}: {0}, {1, 5}: {0, 1}, {2, 6}: {1},
+		})
+		s := NewSim(fb, Instant())
+		a, _ := s.AddFlow(1, 0, 4, 1000, 0)
+		b, _ := s.AddFlow(2, 1, 5, 1000, 0)
+		c, _ := s.AddFlow(3, 2, 6, 1000, 0)
+		s.prepare()
+		for _, f := range []*Flow{a, b, c} {
+			s.activate(f, 0)
+		}
+		return s, [3]*Flow{a, b, c}
+	}
+	check := func(label string, fl [3]*Flow) {
+		for i, want := range []float64{0.5, 0.5, 1.5} {
+			if got := fl[i].target; math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: flow %d target %g, want %g", label, fl[i].ID, got, want)
+			}
 		}
 	}
+	s, fl := build()
+	s.fullPass(0)
+	check("fullPass", fl)
+	s, fl = build()
+	if !s.relax(0) {
+		t.Fatal("relax overran its budget on a three-flow network")
+	}
+	check("relax", fl)
 }
 
 // TestSingleFlowHitsIdeal: an uncontended fluid flow must complete in

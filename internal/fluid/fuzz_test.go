@@ -1,0 +1,39 @@
+package fluid
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzIncrementalWaterfill drives random flow sets (sizes, starts, host
+// pairs) over fat-tree and chain fabrics with the differential checker
+// armed: every event's incremental targets are compared against the
+// full-pass fixed point at 1e-9 relative, and any divergence panics. The
+// fuzzer explores the seed/shape space; the checker is the oracle.
+func FuzzIncrementalWaterfill(f *testing.F) {
+	f.Add(int64(1), uint8(8), false, false)
+	f.Add(int64(2), uint8(40), false, true)
+	f.Add(int64(3), uint8(96), true, false)
+	f.Add(int64(4), uint8(64), true, true)
+	f.Add(int64(1<<40), uint8(255), false, true)
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, chain, lagged bool) {
+		flows := 2 + int(n)%96
+		model := Instant()
+		if lagged {
+			model = Model{Tau: 20 * sim.Microsecond}
+		}
+		s := randomFlowSim(t, seed, flows, chain, model)
+		s.Differential = true
+		res := s.Run(sim.Second)
+		if res.Completed != res.Generated {
+			t.Fatalf("only %d/%d flows completed within a generous deadline",
+				res.Completed, res.Generated)
+		}
+		if got := res.Stats.Recomputes + res.Stats.IncrementalPasses; got != res.Stats.Events {
+			t.Fatalf("pass accounting broken: %d full + %d incremental != %d events",
+				res.Stats.Recomputes, res.Stats.IncrementalPasses, res.Stats.Events)
+		}
+	})
+}

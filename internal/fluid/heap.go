@@ -1,0 +1,88 @@
+package fluid
+
+// finishHeap is an indexed binary min-heap of the active flows ordered by
+// (key, seq). A flow's key is an absolute predicted finish time: a cheap
+// lower bound (now + remaining/max(rate, target)) when the flow's target
+// last changed, promoted to the exact Newton solve only when the flow
+// reaches the heap top and the bound actually matters (refineNextFinish).
+// seq — position in the start-sorted flow list — breaks ties, so
+// simultaneous finishes pop in arrival order, exactly the order the old
+// linear scan over the active slice produced.
+type finishHeap struct{ a []*Flow }
+
+func (h *finishHeap) Len() int { return len(h.a) }
+
+// Min returns the current minimum without removing it.
+func (h *finishHeap) Min() *Flow { return h.a[0] }
+
+func (h *finishHeap) less(i, j int) bool {
+	if h.a[i].key != h.a[j].key {
+		return h.a[i].key < h.a[j].key
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *finishHeap) swap(i, j int) {
+	h.a[i], h.a[j] = h.a[j], h.a[i]
+	h.a[i].heapIdx = int32(i)
+	h.a[j].heapIdx = int32(j)
+}
+
+// Push inserts f, recording its index in f.heapIdx.
+func (h *finishHeap) Push(f *Flow) {
+	f.heapIdx = int32(len(h.a))
+	h.a = append(h.a, f)
+	h.up(len(h.a) - 1)
+}
+
+// Remove deletes the flow at index i.
+func (h *finishHeap) Remove(i int) {
+	last := len(h.a) - 1
+	f := h.a[i]
+	if i != last {
+		h.swap(i, last)
+	}
+	h.a = h.a[:last]
+	f.heapIdx = -1
+	if i < last {
+		h.Fix(i)
+	}
+}
+
+// Fix restores the heap invariant after the key at index i changed.
+func (h *finishHeap) Fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *finishHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *finishHeap) down(i int) bool {
+	start := i
+	n := len(h.a)
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && h.less(r, kid) {
+			kid = r
+		}
+		if !h.less(kid, i) {
+			break
+		}
+		h.swap(i, kid)
+		i = kid
+	}
+	return i > start
+}

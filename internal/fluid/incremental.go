@@ -1,0 +1,379 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+)
+
+// linkState is the persistent per-link allocation state the incremental
+// engine keeps alive across events (the old engine rebuilt occupant lists
+// from scratch every pass).
+type linkState struct {
+	// flows holds the occupant flow indices (positions in Sim.flows).
+	flows []int32
+	// level is the link's water level: the fair share a flow bottlenecked
+	// here receives. +Inf while the link is unsaturated or empty.
+	level float64
+	// queued marks the link as already sitting on the worklist.
+	queued bool
+}
+
+// addOccupant registers flow fi on link l.
+func (s *Sim) addOccupant(l int32, fi int32) {
+	ls := &s.links[l]
+	if len(ls.flows) == 0 {
+		s.occupied++
+	}
+	ls.flows = append(ls.flows, fi)
+}
+
+// removeOccupant drops flow fi from link l by scan + swap-remove. Occupant
+// lists are short (one link's concurrent flows, not the global active set),
+// so the scan is cheap; the swap perturbs only iteration order, and every
+// consumer of that order is order-independent in value (min/compare
+// arithmetic and integer counts).
+func (s *Sim) removeOccupant(l int32, fi int32) {
+	ls := &s.links[l]
+	for i, v := range ls.flows {
+		if v == fi {
+			last := len(ls.flows) - 1
+			ls.flows[i] = ls.flows[last]
+			ls.flows = ls.flows[:last]
+			break
+		}
+	}
+	if len(ls.flows) == 0 {
+		s.occupied--
+		ls.level = math.Inf(1)
+	}
+}
+
+// enqueueLink pushes l onto the worklist unless it is already there.
+func (s *Sim) enqueueLink(l int32) {
+	if !s.links[l].queued {
+		s.links[l].queued = true
+		s.work = append(s.work, l)
+	}
+}
+
+// clearWork empties the worklist, resetting the queued marks of any links
+// still waiting (a full pass supersedes whatever relaxation was pending).
+func (s *Sim) clearWork() {
+	for _, l := range s.work {
+		s.links[l].queued = false
+	}
+	s.work = s.work[:0]
+}
+
+// levelsClose reports whether two water levels (or flow targets) agree to
+// within the propagation threshold (Sim.Tolerance). Levels within this
+// relative distance are treated as unchanged, which is what stops
+// relaxation waves from ringing on float noise — and, at coarse
+// tolerances, what confines a wave to the links where the event's effect
+// is material. At the default threshold the differential checker's much
+// looser 1e-9 budget bounds the drift this can leave standing (the gap
+// never compounds — each pass compares against the fresh solve).
+func (s *Sim) levelsClose(a, b float64) bool {
+	if a == b {
+		return true // also covers +Inf == +Inf
+	}
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return false
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := math.Abs(a)
+	if bb := math.Abs(b); bb > m {
+		m = bb
+	}
+	tol := s.Tolerance
+	if tol == 0 {
+		tol = 1e-12
+	}
+	return d <= tol*m
+}
+
+// solveLink computes link l's single-link water level given its occupants'
+// constraints elsewhere: each occupant is capped by the minimum level of
+// the other links on its path (its ceil), and the level L satisfies
+// sum_i min(ceil_i, L) = capacity. Peeling solves this exactly: start from
+// capacity/n, repeatedly move occupants whose ceil lies below the current
+// candidate into the "remote" (capped) group, and redistribute what is
+// left over the rest. The candidate only grows, so each occupant peels at
+// most once. Returns +Inf when every occupant is capped below saturation.
+func (s *Sim) solveLink(l int32) float64 {
+	ls := &s.links[l]
+	n := len(ls.flows)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	ceil := s.ceil[:0]
+	for _, fi := range ls.flows {
+		f := s.flows[fi]
+		c := math.Inf(1)
+		for _, pl := range f.path {
+			if int32(pl) == l {
+				continue
+			}
+			if lv := s.links[pl].level; lv < c {
+				c = lv
+			}
+		}
+		ceil = append(ceil, c)
+	}
+	s.ceil = ceil
+
+	capacity := s.fab.LinkBps[l]
+	local := n
+	sumRemote := 0.0
+	L := capacity / float64(local)
+	for {
+		peeled := false
+		for i, c := range ceil {
+			if c < L {
+				sumRemote += c
+				local--
+				ceil[i] = math.Inf(1) // consumed: never peels again
+				peeled = true
+			}
+		}
+		if !peeled {
+			break
+		}
+		if local == 0 {
+			return math.Inf(1) // all occupants capped elsewhere
+		}
+		L = (capacity - sumRemote) / float64(local)
+	}
+	return L
+}
+
+// pathMinLevel returns the minimum water level over f's path — the flow's
+// max-min target once the levels have converged.
+func (s *Sim) pathMinLevel(f *Flow) float64 {
+	m := math.Inf(1)
+	for _, l := range f.path {
+		if lv := s.links[l].level; lv < m {
+			m = lv
+		}
+	}
+	return m
+}
+
+// pathCapMin is the last-resort placement level: the smallest raw link
+// capacity on f's path.
+func (s *Sim) pathCapMin(f *Flow) float64 {
+	m := math.Inf(1)
+	for _, l := range f.path {
+		if c := s.fab.LinkBps[l]; c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// relax drains the worklist: pop a link, re-solve its water level from its
+// occupants' constraints, and — when the level moved — retarget the
+// occupants, re-queueing the other links of every flow whose target
+// changed. That re-queue rule is the bottleneck-dependency closure: a
+// link's solve depends on other links only through the ceils of shared
+// flows, and (as DESIGN.md argues) a shared flow can change a neighbor's
+// solve only when its own max-min target moved — so unchanged targets
+// prune the wave. The work budget bounds pathological cascades: once
+// relaxation has cost about as much as a global pass, it gives up and the
+// caller falls back to fullPass (the abandoned partial state is harmless —
+// the full pass rewrites every level and target).
+func (s *Sim) relax(now float64) bool {
+	budget := 128 + 4*len(s.active)
+	units := 0
+	for n := 0; n < len(s.work); n++ {
+		l := s.work[n]
+		ls := &s.links[l]
+		ls.queued = false
+		units += len(ls.flows) + 1
+		if units > budget {
+			for _, rest := range s.work[n+1:] {
+				s.links[rest].queued = false
+			}
+			s.work = s.work[:0]
+			return false
+		}
+		newL := s.solveLink(l)
+		if s.levelsClose(ls.level, newL) {
+			continue
+		}
+		ls.level = newL
+		s.st.LinksTouched++
+		for _, fi := range ls.flows {
+			f := s.flows[fi]
+			nt := s.pathMinLevel(f)
+			if math.IsInf(nt, 1) {
+				continue // defensive; a changed level leaves a finite path min
+			}
+			if f.rate >= 0 && s.levelsClose(f.target, nt) {
+				continue
+			}
+			s.setTarget(f, nt, now)
+			for _, pl := range f.path {
+				if int32(pl) != l {
+					s.enqueueLink(int32(pl))
+				}
+			}
+		}
+	}
+	s.work = s.work[:0]
+	return true
+}
+
+// fullPass recomputes the global max-min allocation by progressive filling
+// over the persistent occupant lists, reseeding every occupied link's water
+// level. It is the mass-arrival seed pass and the worklist-overrun
+// fallback, and shares its core with the differential checker's reference
+// solver.
+func (s *Sim) fullPass(now float64) {
+	s.clearWork()
+	s.st.Recomputes++
+	s.progressiveFill(
+		func(l int32, level float64) { s.links[l].level = level },
+		func(f *Flow, level float64) {
+			if f.rate >= 0 && s.levelsClose(f.target, level) {
+				return // untouched: keep the flow's lazy state and heap key
+			}
+			s.setTarget(f, level, now)
+		},
+	)
+}
+
+// progressiveFill runs one global water-filling pass over the persistent
+// occupant lists: raise every unfrozen flow uniformly until some link
+// saturates, freeze the flows crossing it at the current level, repeat.
+// onLevel is called once per occupied link with its final level (the
+// saturation level, or +Inf if the link never saturates); assign is called
+// once per flow as it freezes. State mutation happens only through those
+// callbacks plus the remaining/count/frozen scratch, which is what lets
+// the differential checker replay a pass without touching live state.
+func (s *Sim) progressiveFill(onLevel func(l int32, level float64), assign func(f *Flow, level float64)) {
+	seed := s.seed[:0]
+	for l := range s.links {
+		if len(s.links[l].flows) == 0 {
+			continue // empty links stay at +Inf (maintained on removal)
+		}
+		s.remaining[l] = s.fab.LinkBps[l]
+		s.count[l] = len(s.links[l].flows)
+		seed = append(seed, int32(l))
+	}
+	s.seed = seed
+	live := append(s.live[:0], seed...)
+	frozen := s.growFrozen(len(s.active))
+	for i := range frozen {
+		frozen[i] = false
+	}
+	unfrozen := len(s.active)
+	level := 0.0
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		w := 0
+		for _, l := range live {
+			if s.count[l] > 0 {
+				live[w] = l
+				w++
+				if share := s.remaining[l] / float64(s.count[l]); share < delta {
+					delta = share
+				}
+			}
+		}
+		live = live[:w]
+		level += delta
+		froze := false
+		for _, l := range live {
+			s.remaining[l] -= delta * float64(s.count[l])
+		}
+		for _, l := range live {
+			// Saturated: capacity exhausted to within float noise.
+			if s.remaining[l] > 1e-9*s.fab.LinkBps[l] {
+				continue
+			}
+			onLevel(l, level)
+			for _, fi := range s.links[l].flows {
+				f := s.flows[fi]
+				if frozen[f.actIdx] {
+					continue
+				}
+				frozen[f.actIdx] = true
+				assign(f, level)
+				froze = true
+				unfrozen--
+				for _, pl := range f.path {
+					s.count[pl]--
+				}
+			}
+		}
+		if !froze {
+			break // numeric guard; delta selection should always freeze
+		}
+	}
+	s.live = live
+	// Occupied links that never saturated carry no constraint: level +Inf.
+	// Also drain the count scratch back to all-zero for the next pass.
+	for _, l := range seed {
+		s.count[l] = 0
+		if s.remaining[l] > 1e-9*s.fab.LinkBps[l] {
+			onLevel(l, math.Inf(1))
+		}
+	}
+	// Numeric-guard leftovers (should not happen): place any unfrozen flow
+	// at its current path minimum so it never runs free.
+	if unfrozen > 0 {
+		for _, f := range s.active {
+			if frozen[f.actIdx] {
+				continue
+			}
+			nt := s.pathMinLevel(f)
+			if math.IsInf(nt, 1) {
+				if f.rate >= 0 {
+					continue // keep the previous target
+				}
+				nt = s.pathCapMin(f)
+			}
+			assign(f, nt)
+		}
+	}
+}
+
+func (s *Sim) growFrozen(n int) []bool {
+	if cap(s.checkF) < n {
+		s.checkF = make([]bool, n)
+	}
+	s.checkF = s.checkF[:n]
+	return s.checkF
+}
+
+// checkDifferential replays the just-processed event through the full-pass
+// reference solver into scratch and panics if any active flow's incremental
+// target strays beyond 1e-9 relative — the guard that keeps the worklist
+// engine pinned to the progressive-filling fixed point. Enabled by
+// Sim.Differential (tests and fuzzing only; it makes every event O(global)).
+func (s *Sim) checkDifferential(now float64) {
+	if cap(s.checkT) < len(s.active) {
+		s.checkT = make([]float64, len(s.active))
+	}
+	want := s.checkT[:len(s.active)]
+	for i, f := range s.active {
+		want[i] = f.target // leftovers keep their incremental value
+	}
+	s.progressiveFill(
+		func(l int32, level float64) {},
+		func(f *Flow, level float64) { want[f.actIdx] = level },
+	)
+	for i, f := range s.active {
+		w := want[i]
+		d := math.Abs(f.target - w)
+		if d > 1e-9*math.Max(math.Abs(w), 1) {
+			panic(fmt.Sprintf(
+				"fluid: differential check failed at t=%.9fs: flow %d incremental target %g, full-pass %g (rel %g)",
+				now, f.ID, f.target, w, d/math.Max(math.Abs(w), 1)))
+		}
+	}
+}

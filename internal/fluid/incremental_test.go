@@ -1,0 +1,229 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomFlowSim builds a fluid sim over a k=4 fat-tree (or an 8-sender
+// chain) loaded with n pseudo-random flows: mixed sizes, staggered starts,
+// random host pairs. Deterministic per seed.
+func randomFlowSim(t testing.TB, seed int64, n int, chain bool, model Model) *Sim {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var fb *Fabric
+	var err error
+	if chain {
+		attach := make([]int, 8)
+		for i := range attach {
+			attach[i] = i % 3
+		}
+		fb, err = NewChain(DefaultConfig(), ChainOpts{
+			Switches: 3, SenderAttach: attach, RateBps: 100e9, Delay: 1500 * sim.Nanosecond,
+		})
+	} else {
+		fb, err = NewFatTree(DefaultConfig(), FatTreeOpts{K: 4, RateBps: 100e9, Delay: 1500 * sim.Nanosecond})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(fb, model)
+	for i := 0; i < n; i++ {
+		size := int64(1 + rng.Intn(1<<20))
+		start := sim.Time(rng.Intn(200)) * sim.Microsecond
+		var src, dst int
+		if chain {
+			src = rng.Intn(8)
+			dst = 8 // the chain receiver
+		} else {
+			src = rng.Intn(fb.Hosts)
+			dst = (src + 1 + rng.Intn(fb.Hosts-1)) % fb.Hosts
+		}
+		if _, err := s.AddFlow(uint64(i+1), src, dst, size, start); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestIncrementalMatchesFullPass runs mixed random workloads twice — once
+// on the incremental engine with the differential checker armed (so every
+// event is verified against the full-pass fixed point at 1e-9 relative),
+// once with ForceFullPass — and then compares the recorded FCTs between
+// the two engines.
+func TestIncrementalMatchesFullPass(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		chain bool
+		model Model
+	}{
+		{"fattree-instant", false, Instant()},
+		{"fattree-lagged", false, Model{Tau: 20 * sim.Microsecond}},
+		{"chain-instant", true, Instant()},
+		{"chain-lagged", true, Model{Tau: 50 * sim.Microsecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inc := randomFlowSim(t, 42, 64, tc.chain, tc.model)
+			inc.Differential = true
+			ri := inc.Run(sim.Second)
+
+			full := randomFlowSim(t, 42, 64, tc.chain, tc.model)
+			full.ForceFullPass = true
+			rf := full.Run(sim.Second)
+
+			if ri.Completed != rf.Completed || ri.Completed != ri.Generated {
+				t.Fatalf("completed %d (incremental) vs %d (full) of %d",
+					ri.Completed, rf.Completed, ri.Generated)
+			}
+			ri.FCT.SortByStart()
+			rf.FCT.SortByStart()
+			for i := range ri.FCT.Records {
+				a, b := ri.FCT.Records[i], rf.FCT.Records[i]
+				if a.FlowID != b.FlowID {
+					t.Fatalf("record %d: flow %d vs %d", i, a.FlowID, b.FlowID)
+				}
+				fa, fb := a.FCT().Seconds(), b.FCT().Seconds()
+				if d := math.Abs(fa - fb); d > 1e-6*math.Max(fa, fb) {
+					t.Errorf("flow %d: FCT %g (incremental) vs %g (full), rel %g",
+						a.FlowID, fa, fb, d/math.Max(fa, fb))
+				}
+			}
+			if ri.Stats.IncrementalPasses == 0 {
+				t.Error("incremental run never took the incremental path")
+			}
+		})
+	}
+}
+
+// TestStatsAccounting pins the pass bookkeeping: every event is either a
+// full pass or an incremental pass, ForceFullPass makes them all full, and
+// the affected-fraction counters move only on the incremental engine's
+// actual work.
+func TestStatsAccounting(t *testing.T) {
+	inc := randomFlowSim(t, 7, 48, false, Instant())
+	ri := inc.Run(sim.Second)
+	if got := ri.Stats.Recomputes + ri.Stats.IncrementalPasses; got != ri.Stats.Events {
+		t.Errorf("Recomputes %d + IncrementalPasses %d != Events %d",
+			ri.Stats.Recomputes, ri.Stats.IncrementalPasses, ri.Stats.Events)
+	}
+	if ri.Stats.IncrementalPasses == 0 {
+		t.Error("expected some incremental passes")
+	}
+	if ri.Stats.FlowsTouched == 0 || ri.Stats.HeapInvalidations == 0 {
+		t.Errorf("affected-fraction counters did not move: %+v", ri.Stats)
+	}
+
+	full := randomFlowSim(t, 7, 48, false, Instant())
+	full.ForceFullPass = true
+	rf := full.Run(sim.Second)
+	if rf.Stats.Recomputes != rf.Stats.Events || rf.Stats.IncrementalPasses != 0 {
+		t.Errorf("ForceFullPass: Recomputes %d, IncrementalPasses %d, Events %d",
+			rf.Stats.Recomputes, rf.Stats.IncrementalPasses, rf.Stats.Events)
+	}
+	if rf.Stats.LinksTouched != 0 {
+		t.Errorf("full passes must not count incremental link touches, got %d", rf.Stats.LinksTouched)
+	}
+}
+
+// TestRateAtLazyProfile: RateAt must evaluate the exponential profile at
+// arbitrary instants without mutating state, matching RateBps at the
+// settle point and the target in the far limit.
+func TestRateAtLazyProfile(t *testing.T) {
+	fb, err := NewChain(DefaultConfig(), ChainOpts{
+		Switches: 3, SenderAttach: []int{0, 0}, RateBps: 100e9, Delay: 1500 * sim.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(fb, Model{Tau: 20 * sim.Microsecond})
+	s.tau = s.model.Tau.Seconds()
+	f, _ := s.AddFlow(1, 0, 2, 1<<20, 0)
+	s.prepare()
+	s.activate(f, 0)
+	s.fullPass(0)
+	f.rate = 2 * f.target // synthetic transient, decaying down
+	at0 := s.RateAt(f, 0)
+	if at0 != f.RateBps() {
+		t.Errorf("RateAt(t0) %g != RateBps %g", at0, f.RateBps())
+	}
+	mid := s.RateAt(f, 20*sim.Microsecond)
+	if !(mid < at0 && mid > f.TargetBps()) {
+		t.Errorf("RateAt(tau) %g not between rate %g and target %g", mid, at0, f.TargetBps())
+	}
+	far := s.RateAt(f, sim.Second)
+	if math.Abs(far-f.TargetBps()) > 1e-3*f.TargetBps() {
+		t.Errorf("RateAt(inf) %g, want ~target %g", far, f.TargetBps())
+	}
+	if s.RateAt(f, 10*sim.Microsecond) != s.RateAt(f, 10*sim.Microsecond) {
+		t.Error("RateAt mutated state")
+	}
+}
+
+// TestLinkRateBpsOccupancy: LinkRateBps sums occupant rates off the
+// persistent per-link state; a fully subscribed bottleneck reads exactly
+// its capacity under instant convergence.
+func TestLinkRateBpsOccupancy(t *testing.T) {
+	const fanout = 8
+	attach := make([]int, fanout)
+	for i := range attach {
+		attach[i] = 2
+	}
+	fb, err := NewChain(DefaultConfig(), ChainOpts{
+		Switches: 3, SenderAttach: attach, RateBps: 100e9, Delay: 1500 * sim.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(fb, Instant())
+	for i := 0; i < fanout; i++ {
+		if _, err := s.AddFlow(uint64(i+1), i, fanout, 1<<20, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.prepare()
+	for _, f := range s.Flows() {
+		s.activate(f, 0)
+	}
+	s.fullPass(0)
+	recv := s.Flows()[0].Path()
+	bottleneck := recv[len(recv)-1]
+	if got := s.LinkRateBps(bottleneck, 0); got != 100e9 {
+		t.Errorf("bottleneck occupancy %g, want exactly 100e9", got)
+	}
+}
+
+// TestFinishHeapOrdering exercises the indexed heap directly: pops come
+// out in (key, seq) order across pushes, key updates, and removals.
+func TestFinishHeapOrdering(t *testing.T) {
+	var h finishHeap
+	mk := func(seq int32, key float64) *Flow {
+		f := &Flow{seq: seq, key: key, heapIdx: -1}
+		h.Push(f)
+		return f
+	}
+	f3 := mk(3, 5)
+	mk(1, 2)
+	f2 := mk(2, 2)
+	mk(0, 9)
+	f3.key = 1
+	h.Fix(int(f3.heapIdx))
+	h.Remove(int(f2.heapIdx))
+	if f2.heapIdx != -1 {
+		t.Errorf("removed flow keeps heap index %d", f2.heapIdx)
+	}
+	var got []int32
+	for h.Len() > 0 {
+		top := h.Min()
+		h.Remove(int(top.heapIdx))
+		got = append(got, top.seq)
+	}
+	want := []int32{3, 1, 0} // key 1, then key 2 (seq 1), then key 9
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}

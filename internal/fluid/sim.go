@@ -3,7 +3,7 @@ package fluid
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/metrics"
@@ -14,6 +14,12 @@ import (
 // every arrival/finish the water-filling pass assigns each flow a new
 // max-min target, and the flow's instantaneous rate decays toward it with
 // the model's time constant.
+//
+// Flow state is lazy: remBits and rate are a snapshot at t0, the last time
+// the flow's target changed. Flows untouched by an event are not advanced —
+// the exponential profile integrates exactly over any span, so settling
+// only on target changes loses nothing and turns the per-event cost from
+// O(active) into O(affected).
 type Flow struct {
 	ID        uint64
 	Src, Dst  int
@@ -25,19 +31,27 @@ type Flow struct {
 	Ideal sim.Time
 
 	path    []int
-	remBits float64 // remaining on-the-wire bits
-	rate    float64 // instantaneous rate (bit/s) at time t0
+	remBits float64 // remaining on-the-wire bits as of t0
+	rate    float64 // instantaneous rate (bit/s) as of t0
 	target  float64 // current max-min fair share (bit/s)
-	frozen  bool    // water-filling scratch
+	t0      float64 // seconds; when remBits/rate were last settled
 	offset  sim.Time
+
+	seq        int32   // position in Sim.flows after the start-order sort
+	actIdx     int32   // position in Sim.active (-1 when inactive)
+	heapIdx    int32   // position in the finish heap (-1 when absent)
+	key        float64 // heap key: absolute finish time (lower bound or exact)
+	exact      bool    // key is the exact finish time, not just a lower bound
+	placedPass int64   // pass that first placed the flow (see setTarget)
 }
 
 // Path returns the flow's resolved route as fabric link indices. Callers
 // must not mutate the returned slice.
 func (f *Flow) Path() []int { return f.path }
 
-// RateBps returns the flow's instantaneous rate in bit/s as of the last
-// event the simulation advanced to (0 before the flow's first placement).
+// RateBps returns the flow's instantaneous rate in bit/s as of the flow's
+// last settle point (0 before the flow's first placement). For the rate at
+// an arbitrary instant use Sim.RateAt, which evaluates the lazy profile.
 func (f *Flow) RateBps() float64 {
 	if f.rate < 0 {
 		return 0 // sentinel: not yet placed by water-filling
@@ -48,14 +62,30 @@ func (f *Flow) RateBps() float64 {
 // TargetBps returns the flow's current max-min fair share in bit/s.
 func (f *Flow) TargetBps() float64 { return f.target }
 
-// Stats is one run's fluid-engine telemetry.
+// Stats is one run's fluid-engine telemetry. The affected-* totals
+// (LinksTouched, FlowsTouched, HeapInvalidations) divide by Events to give
+// the per-event affected fraction the incremental engine is built around.
 type Stats struct {
 	// Events counts arrival and finish events processed.
 	Events int
-	// Recomputes counts water-filling passes (== Events).
+	// Recomputes counts full water-filling passes: batch-arrival seeding
+	// plus every worklist overrun that fell back to a global rebuild.
+	// (Historically this was a synonym for Events; with the incremental
+	// engine, Recomputes + IncrementalPasses == Events.)
 	Recomputes int
+	// IncrementalPasses counts events settled by worklist relaxation alone.
+	IncrementalPasses int
 	// MaxActive is the peak concurrent flow count.
 	MaxActive int
+	// LinksTouched totals links whose water level changed across all
+	// incremental passes (full passes touch every occupied link and are
+	// not counted here — Recomputes already measures them).
+	LinksTouched int64
+	// FlowsTouched totals flows whose max-min target changed in any pass.
+	FlowsTouched int64
+	// HeapInvalidations totals finish-heap key updates forced by target
+	// changes (each one re-arms a lazy lower bound for later refinement).
+	HeapInvalidations int64
 	// WallSeconds is the host wall-clock time of Run.
 	WallSeconds float64
 }
@@ -76,18 +106,51 @@ type Result struct {
 type Sim struct {
 	fab   *Fabric
 	model Model
+	tau   float64 // model.Tau in seconds, cached for the run
 	flows []*Flow
 
-	// water-filling scratch, sized to the link count. count stays all-zero
-	// between passes; remaining/flowsOn are only valid for touched links.
-	remaining []float64
-	count     []int
-	flowsOn   [][]int32
-	links     []int32
+	// Persistent incremental water-filling state (alive across events).
+	active   []*Flow
+	links    []linkState
+	occupied int     // links with at least one occupant
+	work     []int32 // relaxation worklist (link indices)
+	heap     finishHeap
 
-	// Telemetry probe: when set, Run advances the fluid state to every
-	// multiple of probeEvery and invokes probeFn there, as a first-class
-	// loop event (exact rate/volume semantics, not interpolation).
+	// Scratch (amortized, reused across passes).
+	ceil      []float64 // solveLink
+	remaining []float64 // progressiveFill
+	count     []int     // progressiveFill
+	seed      []int32   // progressiveFill: occupied-link list
+	live      []int32   // progressiveFill: still-filling subset
+	checkT    []float64 // differential checker targets
+	checkF    []bool    // progressiveFill frozen flags
+
+	st     *Stats // current run's stats (a throwaway before Run starts)
+	passID int64  // identifies the current recompute pass
+
+	// ForceFullPass disables incremental recomputation: every event runs a
+	// global progressive-filling pass. This is the benchmark baseline
+	// (BenchmarkFluidLargeActiveFullPass) and a bisection aid.
+	ForceFullPass bool
+	// Tolerance is the relative water-level change below which relaxation
+	// does not propagate (0 means the 1e-12 default, which tracks the
+	// full-pass fixed point to well under the differential checker's 1e-9
+	// budget). Dense fabrics couple every link to every other within a few
+	// sharing hops, so each event perturbs the exact fixed point globally
+	// by a tiny amount; coarsening the tolerance (say 1e-6) confines the
+	// relaxation wave to the links where the change is material, which is
+	// the precision/locality trade-off that makes 50k-flow runs
+	// interactive. Must stay at the default when Differential is set.
+	Tolerance float64
+	// Differential replays every pass through the full-pass solver and
+	// panics if any incremental target strays beyond 1e-9 relative — the
+	// correctness harness for the incremental engine (tests and fuzzing).
+	Differential bool
+
+	// Telemetry probe: when set, Run invokes probeFn at every multiple of
+	// probeEvery as a first-class loop event. Sampling is read-only over
+	// the lazy flow state (RateAt / LinkRateBps), so probing perturbs
+	// nothing — not even float rounding.
 	probeFn    func(now sim.Time, active []*Flow)
 	probeEvery float64 // seconds
 	nextProbe  float64 // seconds
@@ -100,8 +163,7 @@ func (s *Sim) Fabric() *Fabric { return s.fab }
 func (s *Sim) Flows() []*Flow { return s.flows }
 
 // SetProbe installs a sampling callback invoked at every multiple of the
-// period during Run, with the simulation state advanced exactly to the
-// probe instant. Install before Run; a nil fn disables probing.
+// period during Run. Install before Run; a nil fn disables probing.
 func (s *Sim) SetProbe(every sim.Time, fn func(now sim.Time, active []*Flow)) {
 	if fn != nil && every <= 0 {
 		panic(fmt.Sprintf("fluid: non-positive probe period %v", every))
@@ -116,10 +178,19 @@ func NewSim(fab *Fabric, model Model) *Sim {
 	return &Sim{
 		fab:       fab,
 		model:     model,
+		links:     newLinkStates(len(fab.LinkBps)),
 		remaining: make([]float64, len(fab.LinkBps)),
 		count:     make([]int, len(fab.LinkBps)),
-		flowsOn:   make([][]int32, len(fab.LinkBps)),
+		st:        &Stats{},
 	}
+}
+
+func newLinkStates(n int) []linkState {
+	ls := make([]linkState, n)
+	for i := range ls {
+		ls[i].level = math.Inf(1)
+	}
+	return ls
 }
 
 // AddFlow registers a transfer of size bytes from src to dst starting at
@@ -149,9 +220,35 @@ func (s *Sim) AddFlow(id uint64, src, dst int, size int64, start sim.Time) (*Flo
 		remBits: 8 * float64(s.fab.Cfg.wireBytes(size)),
 		rate:    -1, // sentinel: placed at its first target
 		offset:  s.fab.latencyOffset(src, dst, size),
+		actIdx:  -1,
+		heapIdx: -1,
 	}
 	s.flows = append(s.flows, f)
 	return f, nil
+}
+
+// prepare sorts the flow list into event order (start time, then ID) and
+// assigns each flow its stable sequence number — the deterministic
+// tie-break the finish heap uses.
+func (s *Sim) prepare() {
+	slices.SortStableFunc(s.flows, func(a, b *Flow) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	for i, f := range s.flows {
+		f.seq = int32(i)
+	}
 }
 
 // Run executes the event loop until every flow finishes or the next event
@@ -160,37 +257,34 @@ func (s *Sim) AddFlow(id uint64, src, dst int, size int64, start sim.Time) (*Flo
 // an uncontended flow completes in exactly its ideal FCT.
 func (s *Sim) Run(deadline sim.Time) *Result {
 	wall := time.Now()
-	sort.SliceStable(s.flows, func(i, j int) bool {
-		if s.flows[i].Start != s.flows[j].Start {
-			return s.flows[i].Start < s.flows[j].Start
-		}
-		return s.flows[i].ID < s.flows[j].ID
-	})
+	s.prepare()
 	res := &Result{FCT: metrics.NewFCTCollector(), Generated: len(s.flows)}
+	s.st = &res.Stats
 	horizon := deadline.Seconds()
-	tau := s.model.Tau.Seconds()
+	s.tau = s.model.Tau.Seconds()
 
-	var active []*Flow
 	next := 0
 	t := 0.0
-	for next < len(s.flows) || len(active) > 0 {
+	for next < len(s.flows) || s.heap.Len() > 0 {
 		ta := math.Inf(1)
 		if next < len(s.flows) {
 			ta = s.flows[next].Start.Seconds()
 		}
-		tf, fi := s.nextFinish(active, tau)
-		tf += t
+		cutoff := ta
+		if s.probeFn != nil && s.nextProbe < cutoff {
+			cutoff = s.nextProbe
+		}
+		ff := s.refineNextFinish(cutoff)
+		tf := math.Inf(1)
+		if ff != nil {
+			tf = ff.key
+		}
 		if s.probeFn != nil && s.nextProbe <= ta && s.nextProbe <= tf {
-			// Probe instant precedes the next arrival/finish: advance the
-			// fluid state exactly to it and sample. Rates and targets are
-			// untouched (no water-filling pass), so probing perturbs only
-			// the float rounding of the split exponential integrals.
 			if s.nextProbe > horizon {
 				break
 			}
-			s.advance(active, s.nextProbe-t, tau)
 			t = s.nextProbe
-			s.probeFn(sim.FromSeconds(t), active)
+			s.probeFn(sim.FromSeconds(t), s.active)
 			s.nextProbe += s.probeEvery
 			continue
 		}
@@ -200,37 +294,204 @@ func (s *Sim) Run(deadline sim.Time) *Result {
 			if ta > horizon {
 				break
 			}
-			s.advance(active, ta-t, tau)
 			t = ta
+			first := next
 			for next < len(s.flows) && s.flows[next].Start.Seconds() <= t {
-				active = append(active, s.flows[next])
+				s.activate(s.flows[next], t)
 				next++
 			}
+			s.recompute(t, s.flows[first:next])
 		} else {
 			if tf > horizon {
 				break
 			}
-			s.advance(active, tf-t, tau)
 			t = tf
-			f := active[fi]
-			dur := sim.FromSeconds(t) - f.Start
-			f.Finish = f.Start + dur + f.offset
-			res.FCT.Record(metrics.FCTRecord{
-				FlowID: f.ID, SizeBytes: f.SizeBytes,
-				Start: f.Start, Finish: f.Finish, Ideal: f.Ideal,
-			})
-			res.Completed++
-			active = append(active[:fi], active[fi+1:]...)
+			s.finish(ff, t, res)
+			s.recompute(t, nil)
 		}
-		s.waterfill(active)
 		res.Stats.Events++
-		res.Stats.Recomputes++
-		if len(active) > res.Stats.MaxActive {
-			res.Stats.MaxActive = len(active)
+		if len(s.active) > res.Stats.MaxActive {
+			res.Stats.MaxActive = len(s.active)
 		}
 	}
 	res.Stats.WallSeconds = time.Since(wall).Seconds()
 	return res
+}
+
+// activate makes f active at time t: join the active set and the occupant
+// list of every path link, seed those links into the worklist, and enter
+// the finish heap (the coming pass assigns the real target and key).
+func (s *Sim) activate(f *Flow, t float64) {
+	f.actIdx = int32(len(s.active))
+	s.active = append(s.active, f)
+	f.t0 = t
+	for _, l := range f.path {
+		s.addOccupant(int32(l), f.seq)
+		s.enqueueLink(int32(l))
+	}
+	f.key = t
+	f.exact = false
+	s.heap.Push(f)
+}
+
+// finish settles f exactly at its completion instant, records the FCT, and
+// removes the flow from the active set (index-tracked swap-remove) and from
+// its links' occupant lists, seeding the freed links into the worklist.
+func (s *Sim) finish(f *Flow, t float64, res *Result) {
+	s.settle(f, t)
+	f.remBits = 0
+	dur := sim.FromSeconds(t) - f.Start
+	f.Finish = f.Start + dur + f.offset
+	res.FCT.Record(metrics.FCTRecord{
+		FlowID: f.ID, SizeBytes: f.SizeBytes,
+		Start: f.Start, Finish: f.Finish, Ideal: f.Ideal,
+	})
+	res.Completed++
+	s.heap.Remove(int(f.heapIdx))
+	last := len(s.active) - 1
+	moved := s.active[last]
+	s.active[f.actIdx] = moved
+	moved.actIdx = f.actIdx
+	s.active = s.active[:last]
+	f.actIdx = -1
+	for _, l := range f.path {
+		s.removeOccupant(int32(l), f.seq)
+		s.enqueueLink(int32(l))
+	}
+}
+
+// recompute brings the allocation to its new fixed point after an event.
+// Small perturbations relax incrementally from the seeded worklist; mass
+// arrivals (a worklist already covering a large share of the occupied
+// links) and worklist overruns run a full progressive-filling pass. added
+// holds the flows activated by this event, for the placement guard.
+func (s *Sim) recompute(now float64, added []*Flow) {
+	s.passID++
+	switch {
+	case s.ForceFullPass || len(s.work) > s.occupied/4+8:
+		s.fullPass(now)
+	case s.relax(now):
+		s.st.IncrementalPasses++
+	default:
+		s.fullPass(now) // worklist overran its budget
+	}
+	// Placement guard: relaxation places an arriving flow as a side effect
+	// of its links' level changes; if an arrival perturbed nothing beyond
+	// the propagation threshold, place it at its path minimum directly.
+	for _, f := range added {
+		if f.rate < 0 {
+			nt := s.pathMinLevel(f)
+			if math.IsInf(nt, 1) {
+				nt = s.pathCapMin(f)
+			}
+			s.setTarget(f, nt, now)
+		}
+	}
+	if s.Differential {
+		s.checkDifferential(now)
+	}
+}
+
+// setTarget settles f at now under its old profile, installs the new
+// max-min target, and re-arms the flow's finish-heap key with the cheap
+// lower bound now + rem/max(rate, target) — the exact Newton solve is
+// deferred until the flow reaches the heap top (refineNextFinish).
+//
+// A flow being placed for the first time starts at its fair share with no
+// transient. Relaxation may walk a new flow through intermediate levels
+// before the pass converges, so retargets within the placing pass move the
+// rate with the target (the intermediate value was never a real rate the
+// convergence model should decay from).
+func (s *Sim) setTarget(f *Flow, nt, now float64) {
+	switch {
+	case f.rate < 0:
+		f.target = nt
+		f.rate = nt
+		f.t0 = now
+		f.placedPass = s.passID
+	case f.placedPass == s.passID:
+		f.target = nt
+		f.rate = nt
+	default:
+		s.settle(f, now)
+		f.target = nt
+		if s.tau == 0 {
+			f.rate = nt
+		}
+	}
+	s.st.FlowsTouched++
+	f.key = now + f.remBits/math.Max(f.rate, f.target)
+	f.exact = false
+	s.heap.Fix(int(f.heapIdx))
+	s.st.HeapInvalidations++
+}
+
+// settle integrates f's rate profile from its last settle point to now:
+// debit the delivered bits and move the instantaneous rate to the profile
+// endpoint. The exponential integrates exactly over any span, so settling
+// lazily (only on target changes and at finish) is loss-free.
+func (s *Sim) settle(f *Flow, now float64) {
+	dt := now - f.t0
+	if dt > 0 {
+		f.remBits -= deliver(f, dt, s.tau)
+		if f.remBits < 0 {
+			f.remBits = 0
+		}
+		if s.tau == 0 {
+			f.rate = f.target
+		} else {
+			f.rate = f.target + (f.rate-f.target)*math.Exp(-dt/s.tau)
+		}
+	}
+	f.t0 = now
+}
+
+// refineNextFinish narrows the finish heap's minimum to an exact time, but
+// only as far as needed: refinement stops as soon as the heap minimum — a
+// lower bound on every future finish — is at or past cutoff (the next
+// arrival or probe instant). This is the lazy lower-bound prune that used
+// to live in the linear nextFinish scan, moved into the heap key. Returns
+// nil when no finish can precede cutoff (ties go to the cutoff event,
+// matching the old scan's arrival/probe-wins semantics).
+func (s *Sim) refineNextFinish(cutoff float64) *Flow {
+	for s.heap.Len() > 0 {
+		top := s.heap.Min()
+		if top.exact {
+			return top
+		}
+		if top.key >= cutoff {
+			return nil
+		}
+		top.key = top.t0 + solveFinish(top, s.tau)
+		top.exact = true
+		s.heap.Fix(int(top.heapIdx))
+	}
+	return nil
+}
+
+// RateAt evaluates f's instantaneous rate at now from the lazy profile
+// without mutating any state (0 before the flow's first placement). now
+// must not precede the flow's last settle point.
+func (s *Sim) RateAt(f *Flow, now sim.Time) float64 {
+	if f.rate < 0 {
+		return 0
+	}
+	dt := now.Seconds() - f.t0
+	if dt <= 0 || s.tau == 0 || f.rate == f.target {
+		return f.rate
+	}
+	return f.target + (f.rate-f.target)*math.Exp(-dt/s.tau)
+}
+
+// LinkRateBps sums the instantaneous rates of link l's occupants at now —
+// the persistent occupant set makes this O(occupants of l) instead of a
+// scan of every active flow's path.
+func (s *Sim) LinkRateBps(l int, now sim.Time) float64 {
+	sum := 0.0
+	for _, fi := range s.links[l].flows {
+		sum += s.RateAt(s.flows[fi], now)
+	}
+	return sum
 }
 
 // deliver integrates a flow's rate profile over dt seconds: the rate decays
@@ -243,49 +504,13 @@ func deliver(f *Flow, dt, tau float64) float64 {
 	return f.target*dt + (f.rate-f.target)*tau*(1-math.Exp(-dt/tau))
 }
 
-// advance moves every active flow dt seconds forward: debit the delivered
-// bits and settle the instantaneous rate at the profile's endpoint.
-func (s *Sim) advance(active []*Flow, dt, tau float64) {
-	if dt <= 0 {
-		return
-	}
-	for _, f := range active {
-		f.remBits -= deliver(f, dt, tau)
-		if f.remBits < 0 {
-			f.remBits = 0
-		}
-		if tau == 0 {
-			f.rate = f.target
-		} else {
-			f.rate = f.target + (f.rate-f.target)*math.Exp(-dt/tau)
-		}
-	}
-}
-
-// nextFinish returns the earliest completion among active flows as a delta
-// from now, plus its index (math.Inf if none are active). A flow's finish
-// can never beat rem/max(rate, target) — the rate profile is bounded by
-// both endpoints — so that cheap lower bound prunes the exact solve for
-// most flows on large active sets (the fluid hot path).
-func (s *Sim) nextFinish(active []*Flow, tau float64) (float64, int) {
-	best, bi := math.Inf(1), -1
-	for i, f := range active {
-		if f.remBits/math.Max(f.rate, f.target) >= best {
-			continue
-		}
-		if dt := solveFinish(f, tau); dt < best {
-			best, bi = dt, i
-		}
-	}
-	return best, bi
-}
-
 // solveFinish inverts the delivered-volume integral for the time at which
-// the flow's remaining bits hit zero. The integrand (the instantaneous
-// rate) always lies between min(rate, target) and max(rate, target) and
-// both are positive, so the root is bracketed by rem/max and rem/min;
-// Newton steps (the derivative is the rate, one shared Exp per iteration)
-// converge quadratically, with bisection as the in-bracket safeguard.
+// the flow's remaining bits hit zero (as a delta from the flow's settle
+// point t0). The integrand (the instantaneous rate) always lies between
+// min(rate, target) and max(rate, target) and both are positive, so the
+// root is bracketed by rem/max and rem/min; Newton steps (the derivative
+// is the rate, one shared Exp per iteration) converge quadratically, with
+// bisection as the in-bracket safeguard.
 func solveFinish(f *Flow, tau float64) float64 {
 	if f.remBits <= 0 {
 		return 0
@@ -312,88 +537,4 @@ func solveFinish(f *Flow, tau float64) float64 {
 		dt = next
 	}
 	return hi
-}
-
-// waterfill computes the global max-min fair allocation by progressive
-// filling: raise every unfrozen flow's rate uniformly until some link
-// saturates, freeze the flows crossing it at the current level, and repeat.
-// Targets are written per flow; instantaneous rates then chase them under
-// the convergence model (newly placed flows start at their first target).
-//
-// Only links that carry flows are ever touched (the worklist s.links), a
-// per-link occupant list freezes exactly the flows on a saturated link, and
-// freezing decrements counts along just the frozen flow's path — so a pass
-// costs O(active·pathlen + rounds·liveLinks) rather than rescanning every
-// flow against every link each round. This is the fluid backend's hot loop.
-func (s *Sim) waterfill(active []*Flow) {
-	s.links = s.links[:0]
-	for i, f := range active {
-		f.frozen = false
-		for _, l := range f.path {
-			if s.count[l] == 0 {
-				s.remaining[l] = s.fab.LinkBps[l]
-				s.flowsOn[l] = s.flowsOn[l][:0]
-				s.links = append(s.links, int32(l))
-			}
-			s.count[l]++
-			s.flowsOn[l] = append(s.flowsOn[l], int32(i))
-		}
-	}
-	unfrozen := len(active)
-	level := 0.0
-	live := s.links
-	for unfrozen > 0 {
-		delta := math.Inf(1)
-		w := 0
-		for _, l := range live {
-			if s.count[l] > 0 {
-				live[w] = l
-				w++
-				if share := s.remaining[l] / float64(s.count[l]); share < delta {
-					delta = share
-				}
-			}
-		}
-		live = live[:w]
-		level += delta
-		froze := false
-		for _, l := range live {
-			s.remaining[l] -= delta * float64(s.count[l])
-		}
-		for _, l := range live {
-			// Saturated: capacity exhausted to within float noise.
-			if s.remaining[l] > 1e-9*s.fab.LinkBps[l] {
-				continue
-			}
-			for _, fi := range s.flowsOn[l] {
-				f := active[fi]
-				if f.frozen {
-					continue
-				}
-				f.frozen = true
-				f.target = level
-				froze = true
-				unfrozen--
-				for _, pl := range f.path {
-					s.count[pl]--
-				}
-			}
-		}
-		if !froze {
-			break // numeric guard; delta selection should always freeze
-		}
-	}
-	// Leave the scratch counts zeroed for the next pass (only touched links
-	// need clearing, and frozen-flow decrements already drained most).
-	for _, l := range s.links {
-		s.count[l] = 0
-	}
-	for _, f := range active {
-		if f.rate < 0 {
-			f.rate = f.target // new flow: placed at its first fair share
-		}
-		if s.model.Tau == 0 {
-			f.rate = f.target
-		}
-	}
 }

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDatacenterFluidScenarioSpecs pins the identity of the two
+// datacenter-scale fluid scenarios introduced with the incremental
+// water-filling engine. The hashes are cache keys: if either drifts, every
+// stored result for these scenarios is silently orphaned, so a schema or
+// default change must update this test deliberately.
+func TestDatacenterFluidScenarioSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		kind string
+		hash string
+	}{
+		{"fct-websearch-fluid-k16", 16, KindFCT, "sc-3b6ad5df89e5d044"},
+		{"permutation-fluid-k32", 32, KindPermutation, "sc-dc50fc619478ebeb"},
+	}
+	for _, tc := range cases {
+		sp, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", tc.name, err)
+		}
+		n := sp.Normalized()
+		if n.Backend != BackendFluid {
+			t.Errorf("%s: backend %q, want fluid", tc.name, n.Backend)
+		}
+		if n.Kind != tc.kind || n.Topo.K != tc.k {
+			t.Errorf("%s: kind %q k=%d, want %q k=%d", tc.name, n.Kind, n.Topo.K, tc.kind, tc.k)
+		}
+		if h := sp.Hash(); h != tc.hash {
+			t.Errorf("%s: hash drifted: got %s, want %s", tc.name, h, tc.hash)
+		}
+	}
+}
+
+// TestFCTWebsearchFluidK16Interactive runs the 1024-host WebSearch point
+// end to end on the incremental engine and checks both the result shape
+// (flows complete, affected-fraction telemetry present and plausible) and
+// that the run stays interactive. The wall-clock bound is deliberately
+// loose for slow CI hosts; the README documents the ~sub-second local
+// number.
+func TestFCTWebsearchFluidK16Interactive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-host scenario run")
+	}
+	sp, err := Lookup("fct-websearch-fluid-k16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("k=16 websearch fluid run took %v (%v engine events)",
+		elapsed, res.Metrics["engine_events"])
+	if elapsed > 30*time.Second {
+		t.Errorf("run took %v; the interactive-speed contract is broken", elapsed)
+	}
+	if res.Metrics["completed"] == 0 || res.Metrics["generated"] == 0 {
+		t.Errorf("no flows ran: %+v", res.Metrics)
+	}
+	if res.Metrics["fluid_incremental_passes"] == 0 {
+		t.Error("incremental engine never took the incremental path at k=16")
+	}
+	if res.Metrics["fluid_full_passes"]+res.Metrics["fluid_incremental_passes"] !=
+		res.Metrics["engine_events"] {
+		t.Errorf("pass accounting broken: full %v + incremental %v != events %v",
+			res.Metrics["fluid_full_passes"], res.Metrics["fluid_incremental_passes"],
+			res.Metrics["engine_events"])
+	}
+	if res.Metrics["fluid_flows_touched_per_event"] <= 0 {
+		t.Error("affected-fraction telemetry missing from the metric map")
+	}
+}

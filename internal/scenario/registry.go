@@ -74,6 +74,19 @@ var builtin = []Entry{
 			Backend: BackendFluid},
 		Desc: "new: cross-pod permutation on the fluid backend",
 	},
+	{
+		Spec: Spec{Name: "fct-websearch-fluid-k16", Kind: KindFCT, Scheme: "FNCC",
+			Backend:  BackendFluid,
+			Topo:     TopoSpec{K: 16},
+			Workload: WorkloadSpec{CDF: "websearch"}},
+		Desc: "new: WebSearch FCT on a k=16 fat-tree (1024 hosts), incremental fluid engine",
+	},
+	{
+		Spec: Spec{Name: "permutation-fluid-k32", Kind: KindPermutation, Scheme: "FNCC",
+			Backend: BackendFluid,
+			Topo:    TopoSpec{K: 32}},
+		Desc: "new: 8192-host cross-pod permutation, incremental fluid engine",
+	},
 }
 
 // Builtin returns the registry entries sorted by name.

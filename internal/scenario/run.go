@@ -56,6 +56,12 @@ var knownMetrics = map[string]bool{
 	"engine_events": true, "engine_events_per_sec": true,
 	"event_reuse_rate": true, "pool_hit_rate": true,
 	"mallocs_per_run": true, "alloc_bytes_per_run": true,
+	// Fluid-backend incremental-engine telemetry: full vs worklist passes
+	// and the affected fraction (links/flows/heap keys touched per event).
+	// Deterministic for a given spec, like engine_events.
+	"fluid_full_passes": true, "fluid_incremental_passes": true,
+	"fluid_links_touched_per_event": true, "fluid_flows_touched_per_event": true,
+	"fluid_heap_invalidations_per_event": true,
 	// Telemetry bookkeeping, present only when the spec has a telemetry
 	// block: probe samples recorded and trace events captured.
 	"telemetry_samples": true, "trace_events": true,

@@ -8,17 +8,20 @@ import (
 )
 
 // FluidProbe samples a fluid-backend run: per-flow granted rate ("rate")
-// and per-link occupancy ("link", the sum of active-flow rates over the
+// and per-link occupancy ("link", the sum of occupant rates over the
 // link's capacity). It installs itself as the Sim's probe callback, which
-// the fluid event loop invokes with the state advanced exactly to each
-// sample instant. Attach after every AddFlow and before Run.
+// the fluid event loop invokes at each sample instant; sampling evaluates
+// the engine's lazy rate profiles read-only (Sim.RateAt) and reads link
+// occupancy off the persistent per-link occupant sets (Sim.LinkRateBps)
+// instead of recomputing it from every active flow's path. Attach after
+// every AddFlow and before Run.
 type FluidProbe struct {
 	rec *Recorder
+	sim *fluid.Sim
 
 	flowCol map[uint64]int // flow ID -> rate column
 	linkCol []int          // link index -> occupancy column (nil: off)
 	linkBps []float64
-	occ     []float64 // per-link rate accumulator, reused each tick
 }
 
 // AttachFluid installs probes on s per cfg, with ring capacity slots (see
@@ -27,7 +30,7 @@ func AttachFluid(s *fluid.Sim, cfg Config, capacity int) *FluidProbe {
 	if !cfg.Enabled() || (!cfg.Has(ProbeRate) && !cfg.Has(ProbeLink)) {
 		return nil
 	}
-	p := &FluidProbe{rec: NewRecorder(cfg.Interval, capacity)}
+	p := &FluidProbe{rec: NewRecorder(cfg.Interval, capacity), sim: s}
 	if cfg.Has(ProbeRate) {
 		flows := s.Flows()
 		p.flowCol = make(map[uint64]int, len(flows))
@@ -43,33 +46,24 @@ func AttachFluid(s *fluid.Sim, cfg Config, capacity int) *FluidProbe {
 			p.linkCol[l] = p.rec.AddColumn(fmt.Sprintf("link%d/occupancy", l))
 		}
 	}
-	p.occ = make([]float64, len(p.linkBps))
 	s.SetProbe(cfg.Interval, p.observe)
 	return p
 }
 
-// observe is the Sim probe callback: record each active flow's rate and
-// accumulate per-link occupancy. Flows not active this tick read as 0.
+// observe is the Sim probe callback: record each active flow's rate at the
+// probe instant and each link's occupancy. Flows not active this tick read
+// as 0 (ring slots are zeroed).
 func (p *FluidProbe) observe(now sim.Time, active []*fluid.Flow) {
 	slot := p.rec.Begin(now)
-	for i := range p.occ {
-		p.occ[i] = 0
-	}
-	for _, f := range active {
-		r := f.RateBps()
-		if p.flowCol != nil {
+	if p.flowCol != nil {
+		for _, f := range active {
 			if c, ok := p.flowCol[f.ID]; ok {
-				p.rec.Put(slot, c, r)
-			}
-		}
-		if p.linkCol != nil {
-			for _, l := range f.Path() {
-				p.occ[l] += r
+				p.rec.Put(slot, c, p.sim.RateAt(f, now))
 			}
 		}
 	}
 	for l, c := range p.linkCol {
-		p.rec.Put(slot, c, p.occ[l]/p.linkBps[l])
+		p.rec.Put(slot, c, p.sim.LinkRateBps(l, now)/p.linkBps[l])
 	}
 }
 
