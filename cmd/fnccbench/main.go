@@ -7,6 +7,7 @@
 //	fnccbench show  <name>                     # canonical spec + hash
 //	fnccbench run   <name|spec.json> [flags]
 //	fnccbench sweep <name|spec.json> [flags]
+//	fnccbench spans <spans.jsonl>              # -> Chrome trace JSON
 //
 // Examples:
 //
@@ -17,18 +18,29 @@
 //	fnccbench sweep fct-websearch -backend fluid -schemes FNCC,HPCC,DCQCN \
 //	    -loads 0.1,0.3,0.5,0.7,0.9 -seeds 1,2,3,4,5   # ms per point
 //	fnccbench sweep permutation -backends packet,fluid -sizes 4,8  # cross-check
+//	fnccbench sweep fct-websearch -listen :8080 -log json \
+//	    -spans spans.jsonl -metrics metrics.json       # observable sweep
+//	curl localhost:8080/progress                       # ...from another shell
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
+	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
@@ -48,6 +60,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,13 +76,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep> [args]
+	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep|spans> [args]
   list                      built-in scenarios
   show  <name|spec.json>    canonical spec JSON + content hash + probe support
   run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache
-                            -telemetry <dir> -json)
+                            -telemetry <dir> -json -log text|json|off -listen addr)
   sweep <name|spec.json>    expand and run a grid (flags: -schemes -backend -backends -seeds
-                            -loads -sizes -workers -cache -agg -progress -format table|csv|json)
+                            -loads -sizes -workers -cache -agg -progress -format table|csv|json
+                            -log text|json|off -listen addr -spans file.jsonl -metrics file.json)
+  spans <spans.jsonl>       convert exported sweep spans to Chrome trace JSON on stdout
+                            (load in Perfetto or chrome://tracing)
 Run 'fnccbench <subcommand> -h' for flags.`)
 }
 
@@ -134,6 +151,84 @@ func cmdShow(args []string) error {
 	return nil
 }
 
+// obsEnv is the per-invocation observability state the -log and -listen
+// flags configure: the structured logger every status print goes through,
+// the metrics registry the runner feeds, the span tracer, and (when
+// -listen is set) the live debug HTTP server.
+type obsEnv struct {
+	logger *slog.Logger
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	mu   sync.Mutex
+	last harness.Progress
+}
+
+// setProgress records the latest sweep progress for /progress.
+func (e *obsEnv) setProgress(p harness.Progress) {
+	e.mu.Lock()
+	e.last = p
+	e.mu.Unlock()
+}
+
+// progressBody is /progress's JSON shape: the latest harness snapshot plus
+// the open span states (which jobs are in which phase right now).
+type progressBody struct {
+	Progress harness.Progress `json:"progress"`
+	Jobs     []obs.ActiveSpan `json:"jobs,omitempty"`
+}
+
+// setupObs validates the -log/-listen pair and brings the layer up. The
+// registry and tracer are always created — per-job counter bumps are
+// nanoseconds against millisecond jobs, and the final stats summary reads
+// from them — and the HTTP server starts only when listen is non-empty.
+// Malformed values fail here with a usage-quality error, before any
+// simulation starts.
+func setupObs(logMode, listen string) (*obsEnv, error) {
+	logger, err := obs.NewLogger(logMode, os.Stderr)
+	if err != nil {
+		return nil, err
+	}
+	env := &obsEnv{logger: logger, reg: obs.NewRegistry(), tracer: obs.NewTracer()}
+	if listen == "" {
+		return env, nil
+	}
+	l, err := obs.Listen(listen)
+	if err != nil {
+		return nil, err
+	}
+	mux := obs.NewDebugMux(env.reg, func() any {
+		env.mu.Lock()
+		p := env.last
+		env.mu.Unlock()
+		return progressBody{Progress: p, Jobs: env.tracer.Active()}
+	})
+	logger.Info("debug server listening", "addr", l.Addr().String(),
+		"endpoints", "/debug/vars /debug/pprof/ /progress")
+	go func() {
+		if err := http.Serve(l, mux); err != nil {
+			logger.Error("debug server exited", "err", err)
+		}
+	}()
+	return env, nil
+}
+
+// logRunStats is the one-line registry summary both run and sweep end
+// with: cache split, total engine events, and the last run's throughput.
+func (e *obsEnv) logRunStats(results, simulated, cached int) {
+	s := e.reg.Snapshot()
+	e.logger.Info("stats",
+		"points", results,
+		"simulated", simulated,
+		"cached", cached,
+		"engine_events", s.Counters[harness.MetricEngineEvents],
+		"events_per_sec_last", s.Gauges[harness.MetricEventsPerSecLast],
+		"sweep_events_per_sec", s.Gauges[harness.MetricSweepEventsPerSec],
+		"fluid_full_passes", s.Counters[harness.MetricFluidFullPasses],
+		"fluid_incremental_passes", s.Counters[harness.MetricFluidIncrPasses],
+	)
+}
+
 func cmdRun(args []string) error {
 	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
 		return fmt.Errorf("run needs a scenario name or spec file first")
@@ -147,8 +242,14 @@ func cmdRun(args []string) error {
 	telemetryDir := fs.String("telemetry", "", "export telemetry series to this directory "+
 		"(adds a default telemetry block if the spec has none)")
 	asJSON := fs.Bool("json", false, "print the full result as JSON")
+	logMode := fs.String("log", "text", "status log format: text|json|off")
+	listen := fs.String("listen", "", "serve /debug/vars, /debug/pprof and /progress on this address")
 	fs.Parse(args[1:])
 
+	env, err := setupObs(*logMode, *listen)
+	if err != nil {
+		return err
+	}
 	sp, err := resolve(args[0])
 	if err != nil {
 		return err
@@ -168,7 +269,7 @@ func cmdRun(args []string) error {
 	if *telemetryDir != "" && sp.Telemetry == nil {
 		sp.Telemetry = defaultTelemetry(sp)
 	}
-	r := &harness.Runner{CacheDir: *cache}
+	r := &harness.Runner{CacheDir: *cache, Obs: env.reg, Tracer: env.tracer}
 	res, err := r.Run(sp)
 	if err != nil {
 		return err
@@ -177,8 +278,8 @@ func cmdRun(args []string) error {
 		if err := harness.ExportTelemetry(*telemetryDir, res); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "fnccbench: %d telemetry series (%d samples) -> %s\n",
-			len(res.Telemetry.Series), len(res.Telemetry.TimesUs), *telemetryDir)
+		env.logger.Info("telemetry exported", "dir", *telemetryDir,
+			"series", len(res.Telemetry.Series), "samples", len(res.Telemetry.TimesUs))
 	}
 	if *asJSON {
 		return harness.WriteJSON(os.Stdout, harness.Rows([]*scenario.Result{res}))
@@ -191,6 +292,8 @@ func cmdRun(args []string) error {
 	for _, k := range res.MetricNames() {
 		fmt.Printf("  %-20s %g\n", k, res.Metrics[k])
 	}
+	hits, misses := r.Stats()
+	env.logRunStats(1, int(misses), int(hits))
 	return nil
 }
 
@@ -221,8 +324,16 @@ func cmdSweep(args []string) error {
 	agg := fs.Bool("agg", false, "aggregate metrics across seeds")
 	progress := fs.Bool("progress", true, "live progress line on stderr (only when stderr is a terminal)")
 	format := fs.String("format", "table", "output format: table|csv|json")
+	logMode := fs.String("log", "text", "status log format: text|json|off")
+	listen := fs.String("listen", "", "serve /debug/vars, /debug/pprof and /progress on this address")
+	spansOut := fs.String("spans", "", "export the sweep's span trace as JSONL to this file")
+	metricsOut := fs.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
 	fs.Parse(args[1:])
 
+	env, err := setupObs(*logMode, *listen)
+	if err != nil {
+		return err
+	}
 	base, err := resolve(args[0])
 	if err != nil {
 		return err
@@ -259,26 +370,48 @@ func cmdSweep(args []string) error {
 		sweep.Grid.Sizes = append(sweep.Grid.Sizes, v)
 	}
 
+	expand := env.tracer.Start("expand", nil)
 	specs, err := sweep.Expand()
+	expand.End()
 	if err != nil {
 		return err
 	}
-	runner := &harness.Runner{CacheDir: *cache, Workers: *workers}
+	env.logger.Info("sweep starting", "scenario", args[0], "points", len(specs),
+		"workers", *workers, "cache", *cache)
+
+	runner := &harness.Runner{CacheDir: *cache, Workers: *workers,
+		Obs: env.reg, Tracer: env.tracer}
 	showProgress := *progress && stderrIsTerminal()
-	if showProgress {
-		runner.OnProgress = func(p harness.Progress) {
+	runner.OnProgress = func(p harness.Progress) {
+		env.setProgress(p)
+		if showProgress {
 			fmt.Fprintf(os.Stderr,
 				"\rfnccbench: %d/%d done (%d cached, %d in flight) %.2fM events/s   ",
 				p.Done, p.Total, p.Cached, p.InFlight, p.EventsPerSec/1e6)
 		}
 	}
-	results, err := runner.RunAll(specs)
+
+	// SIGINT/SIGTERM cancel the sweep cooperatively: in-flight jobs finish
+	// and write their cache entries, then the partial table, span trace and
+	// metrics snapshot all flush as usual. A second signal kills outright
+	// (signal.NotifyContext restores default handling once ctx fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, runErr := runner.RunAllCtx(ctx, specs)
+	stop()
 	if showProgress {
 		fmt.Fprintln(os.Stderr)
 	}
-	if err != nil {
-		return err
+	interrupted := errors.Is(runErr, harness.ErrInterrupted)
+	if runErr != nil && !interrupted {
+		return runErr
 	}
+	if interrupted {
+		env.logger.Warn("sweep interrupted; printing partial results",
+			"done", len(results), "total", len(specs))
+	}
+
+	export := env.tracer.Start("export", nil)
 	rows := harness.Rows(results)
 	if *agg {
 		rows = harness.Aggregate(rows)
@@ -288,19 +421,83 @@ func cmdSweep(args []string) error {
 		fmt.Print(harness.FormatTable(rows))
 	case "csv":
 		if err := harness.WriteCSV(os.Stdout, rows); err != nil {
+			export.End()
 			return err
 		}
 	case "json":
 		if err := harness.WriteJSON(os.Stdout, rows); err != nil {
+			export.End()
 			return err
 		}
 	default:
+		export.End()
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	export.End()
+
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, env.tracer); err != nil {
+			return err
+		}
+		env.logger.Info("spans exported", "file", *spansOut, "spans", len(env.tracer.Spans()))
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, env.reg); err != nil {
+			return err
+		}
+		env.logger.Info("metrics snapshot written", "file", *metricsOut)
+	}
 	hits, misses := runner.Stats()
-	fmt.Fprintf(os.Stderr, "fnccbench: %d point(s): %d simulated, %d from cache\n",
-		len(results), misses, hits)
+	env.logRunStats(len(results), int(misses), int(hits))
+	if interrupted {
+		return fmt.Errorf("sweep interrupted after %d/%d point(s)", len(results), len(specs))
+	}
 	return nil
+}
+
+// writeSpans flushes the tracer to a JSONL file.
+func writeSpans(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteJSONL(f)
+	cerr := f.Close()
+	return errors.Join(werr, cerr)
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(reg.Snapshot())
+	cerr := f.Close()
+	return errors.Join(werr, cerr)
+}
+
+// cmdSpans converts an exported span JSONL file to the Chrome trace-event
+// format on stdout, loadable in Perfetto or chrome://tracing.
+func cmdSpans(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("spans needs a spans.jsonl file (from sweep -spans)")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpansJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s contains no spans", args[0])
+	}
+	return obs.WriteChromeTrace(os.Stdout, spans)
 }
 
 // stderrIsTerminal gates the carriage-return progress line: redirected

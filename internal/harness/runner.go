@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,8 +12,14 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
+
+// ErrInterrupted reports that RunAllCtx's context was cancelled mid-sweep:
+// the returned results cover every job that finished (all of them safely
+// in the cache), and the not-yet-started remainder was skipped.
+var ErrInterrupted = errors.New("harness: sweep interrupted")
 
 // Runner executes scenario specs on the exp.ParallelMap worker pool with an
 // optional content-addressed disk cache. A Runner is safe for concurrent
@@ -27,9 +34,22 @@ type Runner struct {
 	// or finishes during RunAll, feeding live sweep progress displays. The
 	// callback must be fast; it runs on the worker goroutines under a lock.
 	OnProgress func(Progress)
+	// Obs, when set, receives operational metrics: cache hits/misses, job
+	// wall-time histograms, live sweep.* gauges, and per-run engine stats
+	// (engine events, pool rates, fluid pass split) via the scenario.Sink
+	// hook. Nil keeps the whole layer off at the cost of pointer tests —
+	// the obs_overhead bench ratio pins that cost at ≤ 1%.
+	Obs *obs.Registry
+	// Tracer, when set, records spans: RunAll opens a "sweep" root, each
+	// job a child with cache-lookup / simulate / cache-store phases. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	sinkOnce sync.Once
+	obsSink  *obsSink
 }
 
 // Progress is a point-in-time snapshot of a RunAll sweep.
@@ -108,30 +128,69 @@ func (r *Runner) Stats() (hits, misses int64) {
 // RunAll executes every spec (cache-first) and returns results in spec
 // order. The first simulation error aborts; completed jobs remain cached.
 func (r *Runner) RunAll(specs []scenario.Spec) ([]*scenario.Result, error) {
+	return r.RunAllCtx(context.Background(), specs)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation: once ctx is done, no
+// new job starts, but every in-flight job runs to completion and writes
+// its cache entry — an interrupted sweep never leaves torn state, and a
+// re-run resumes from the cache. A cancelled sweep returns the completed
+// results (spec order, skipped points absent) and ErrInterrupted.
+func (r *Runner) RunAllCtx(ctx context.Context, specs []scenario.Spec) ([]*scenario.Result, error) {
 	if r.CacheDir != "" {
 		if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
 			return nil, fmt.Errorf("harness: cache dir: %w", err)
 		}
 	}
 	type out struct {
-		res *scenario.Result
-		err error
+		res     *scenario.Result
+		err     error
+		skipped bool
 	}
-	tracker := newProgressTracker(len(specs), r.OnProgress)
+	notify := r.progressNotify()
+	tracker := newProgressTracker(len(specs), notify)
+	root := r.Tracer.Start("sweep", nil)
 	outs := exp.ParallelMap(specs, r.Workers, func(sp scenario.Spec) out {
+		if ctx.Err() != nil {
+			return out{skipped: true}
+		}
 		tracker.start()
-		res, err := r.runOne(sp)
+		res, err := r.runOne(sp, root)
 		tracker.finish(res)
-		return out{res, err}
+		return out{res: res, err: err}
 	})
-	results := make([]*scenario.Result, len(outs))
-	for i, o := range outs {
+	root.End()
+	results := make([]*scenario.Result, 0, len(outs))
+	interrupted := false
+	for _, o := range outs {
+		if o.skipped {
+			interrupted = true
+			continue
+		}
 		if o.err != nil {
 			return nil, o.err
 		}
-		results[i] = o.res
+		results = append(results, o.res)
+	}
+	if interrupted {
+		return results, ErrInterrupted
 	}
 	return results, nil
+}
+
+// progressNotify composes the caller's OnProgress with the sweep.* gauge
+// mirror; nil when neither consumer exists so the tracker stays off.
+func (r *Runner) progressNotify() func(Progress) {
+	if r.Obs == nil {
+		return r.OnProgress
+	}
+	reg, cb := r.Obs, r.OnProgress
+	return func(p Progress) {
+		observeProgress(reg, p)
+		if cb != nil {
+			cb(p)
+		}
+	}
 }
 
 // Run executes one spec through the same cache path as RunAll.
@@ -141,10 +200,11 @@ func (r *Runner) Run(sp scenario.Spec) (*scenario.Result, error) {
 			return nil, fmt.Errorf("harness: cache dir: %w", err)
 		}
 	}
-	return r.runOne(sp)
+	return r.runOne(sp, nil)
 }
 
-func (r *Runner) runOne(sp scenario.Spec) (*scenario.Result, error) {
+func (r *Runner) runOne(sp scenario.Spec, root *obs.Span) (*scenario.Result, error) {
+	started := time.Now()
 	// Validate here, not just inside scenario.Run: a cache hit returns
 	// before Run, and a spec that today's rules reject must not be served
 	// from a cache written under yesterday's.
@@ -152,19 +212,40 @@ func (r *Runner) runOne(sp scenario.Spec) (*scenario.Result, error) {
 		return nil, err
 	}
 	hash := sp.Hash()
-	if res, ok := r.load(hash); ok {
+	job := r.jobSpan(sp, hash, root)
+	defer job.End()
+	lookup := r.Tracer.Start("cache-lookup", job)
+	res, ok := r.load(hash)
+	lookup.End()
+	if ok {
 		// The cache key ignores Name; restore the caller's label.
 		res.Spec.Name = sp.Name
 		r.hits.Add(1)
+		r.Obs.Counter(MetricCacheHits).Add(1)
+		r.Obs.Counter(MetricJobsDone).Add(1)
+		job.SetAttr("outcome", "cached")
 		return res, nil
 	}
-	res, err := scenario.Run(sp)
+	simulate := r.Tracer.Start("simulate", job)
+	res, err := scenario.RunWithSink(sp, r.sink())
+	simulate.End()
 	if err != nil {
+		job.SetAttr("outcome", "error")
 		return nil, err
 	}
 	r.misses.Add(1)
-	if err := r.store(hash, res); err != nil {
-		return nil, err
+	r.Obs.Counter(MetricCacheMisses).Add(1)
+	store := r.Tracer.Start("cache-store", job)
+	serr := r.store(hash, res)
+	store.End()
+	if serr != nil {
+		job.SetAttr("outcome", "error")
+		return nil, serr
+	}
+	r.Obs.Counter(MetricJobsDone).Add(1)
+	job.SetAttr("outcome", "simulated")
+	if r.Obs != nil {
+		timeHist(r.Obs, MetricJobWallMs, started)
 	}
 	return res, nil
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUNs reports 0 where rusage is unavailable; spans then carry
+// wall time and alloc deltas only.
+func processCPUNs() int64 { return 0 }

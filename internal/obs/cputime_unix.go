@@ -1,0 +1,16 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative user+system CPU time in
+// nanoseconds, or 0 if rusage is unavailable. Process-wide by nature:
+// span CPU deltas taken from it overlap under parallel execution.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return (ru.Utime.Nano() + ru.Stime.Nano())
+}

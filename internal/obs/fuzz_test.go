@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+// FuzzValidateAddr is the -listen flag's armor: whatever byte soup arrives
+// on the command line must produce a clean error or a usable address,
+// never a panic. Accepted addresses must then actually satisfy the
+// net.SplitHostPort contract the listener path relies on.
+func FuzzValidateAddr(f *testing.F) {
+	for _, seed := range []string{
+		"", ":8080", ":0", ":65535", ":65536", ":-1", "8080",
+		"127.0.0.1:80", "localhost:http", "[::1]:443", "[::1]", "::1:80",
+		"host:port:extra", " :80", "a b:80", "a/b:80", ":notaport",
+		"\x00:80", ":8080\n", "☃:80", strings.Repeat(":", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, addr string) {
+		err := ValidateAddr(addr)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted: the downstream listener path must not re-fail parsing.
+		if _, _, splitErr := net.SplitHostPort(addr); splitErr != nil {
+			t.Errorf("ValidateAddr(%q) accepted but SplitHostPort fails: %v", addr, splitErr)
+		}
+	})
+}
+
+// FuzzParseLogMode pins the -log flag surface: only text|json|off (and the
+// empty default) pass, everything else errors without panicking, and
+// NewLogger never returns a nil logger for an accepted mode.
+func FuzzParseLogMode(f *testing.F) {
+	for _, seed := range []string{"", "text", "json", "off", "JSON", "Text",
+		"verbose", "0", "json ", "\x00", "json\njson"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, mode string) {
+		m, err := ParseLogMode(mode)
+		if err != nil {
+			if mode == LogText || mode == LogJSON || mode == LogOff || mode == "" {
+				t.Errorf("ParseLogMode(%q) rejected a valid mode: %v", mode, err)
+			}
+			return
+		}
+		if m != LogText && m != LogJSON && m != LogOff {
+			t.Errorf("ParseLogMode(%q) = %q, not a canonical mode", mode, m)
+		}
+		lg, err := NewLogger(mode, nullWriter{})
+		if err != nil || lg == nil {
+			t.Errorf("NewLogger(%q) = %v, %v after ParseLogMode accepted it", mode, lg, err)
+		}
+	})
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }

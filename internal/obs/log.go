@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log modes accepted by the CLI's -log flag.
+const (
+	LogText = "text"
+	LogJSON = "json"
+	LogOff  = "off"
+)
+
+// ParseLogMode normalizes a -log flag value, rejecting anything but
+// text|json|off with an error suitable for a usage message.
+func ParseLogMode(s string) (string, error) {
+	switch s {
+	case LogText, LogJSON, LogOff:
+		return s, nil
+	case "":
+		return LogText, nil
+	default:
+		return "", fmt.Errorf("obs: unknown log mode %q (want text, json, or off)", s)
+	}
+}
+
+// discardHandler drops every record without formatting it. (slog gained a
+// built-in DiscardHandler after the Go version this module pins.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NewLogger builds the CLI's structured logger: text or JSON records on w,
+// or a logger that discards everything for "off". The mode goes through
+// ParseLogMode, so a malformed flag value errors instead of silently
+// defaulting.
+func NewLogger(mode string, w io.Writer) (*slog.Logger, error) {
+	m, err := ParseLogMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	switch m {
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	case LogOff:
+		return slog.New(discardHandler{}), nil
+	default:
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	}
+}

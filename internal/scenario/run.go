@@ -151,8 +151,25 @@ func schemeBuilder(sp Spec) exp.SchemeBuilder {
 	return func() (netsim.Scheme, error) { return BuildScheme(sp.Scheme, sp.CC) }
 }
 
+// Sink observes every executed run. ObserveRun fires once per successful
+// simulation — never for cache hits, which don't simulate — with the
+// normalized spec, its content hash, and the full metric map *before* any
+// Collect filtering, so engine-level stats (engine_events, pool_hit_rate,
+// fluid_full_passes, ...) reach the sink even when the spec's Collect list
+// strips them from the result. The callback runs synchronously on the
+// run's goroutine and must not retain or mutate the map.
+//
+// This is the hook the harness uses to feed the operational-metrics
+// registry (internal/obs); a nil Sink costs one pointer test per run.
+type Sink interface {
+	ObserveRun(sp Spec, hash string, metrics map[string]float64)
+}
+
 // Run validates, normalizes and executes one scenario.
-func Run(sp Spec) (*Result, error) {
+func Run(sp Spec) (*Result, error) { return RunWithSink(sp, nil) }
+
+// RunWithSink is Run with an observer attached; see Sink.
+func RunWithSink(sp Spec, sink Sink) (*Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,7 +193,7 @@ func Run(sp Spec) (*Result, error) {
 			// Unreachable: Validate rejects fluid for other kinds.
 			err = fmt.Errorf("scenario: kind %q has no fluid runner", n.Kind)
 		}
-		return finishRun(n, m, tel, err)
+		return finishRun(n, m, tel, err, sink)
 	}
 	switch n.Kind {
 	case KindMicro:
@@ -198,19 +215,23 @@ func Run(sp Spec) (*Result, error) {
 	default:
 		err = fmt.Errorf("scenario: unknown kind %q", n.Kind)
 	}
-	return finishRun(n, m, tel, err)
+	return finishRun(n, m, tel, err, sink)
 }
 
 // finishRun wraps errors with the run identity, folds telemetry bookkeeping
-// into the metric map, and applies the Collect filter, shared by the packet
-// and fluid dispatch paths.
-func finishRun(n Spec, m map[string]float64, tel *telemetry.Output, err error) (*Result, error) {
+// into the metric map, notifies the sink, and applies the Collect filter,
+// shared by the packet and fluid dispatch paths.
+func finishRun(n Spec, m map[string]float64, tel *telemetry.Output, err error, sink Sink) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s/%s/%s: %w", n.Kind, n.BackendName(), n.Scheme, err)
 	}
 	if tel != nil {
 		m["telemetry_samples"] = float64(tel.Samples)
 		m["trace_events"] = float64(tel.TraceTotal)
+	}
+	hash := n.Hash()
+	if sink != nil {
+		sink.ObserveRun(n, hash, m)
 	}
 	if len(n.Collect) > 0 {
 		keep := make(map[string]float64, len(n.Collect))
@@ -221,7 +242,7 @@ func finishRun(n Spec, m map[string]float64, tel *telemetry.Output, err error) (
 		}
 		m = keep
 	}
-	return &Result{Spec: n, Hash: n.Hash(), Metrics: m, Telemetry: tel}, nil
+	return &Result{Spec: n, Hash: hash, Metrics: m, Telemetry: tel}, nil
 }
 
 func runMicro(sp Spec) (map[string]float64, *telemetry.Output, error) {
