@@ -21,6 +21,8 @@
 //	fnccbench sweep fct-websearch -listen :8080 -log json \
 //	    -spans spans.jsonl -metrics metrics.json       # observable sweep
 //	curl localhost:8080/progress                       # ...from another shell
+//	fnccbench serve -cache .fnccbench &                # long-running service
+//	fnccbench submit fct-websearch -schemes FNCC,HPCC -watch
 package main
 
 import (
@@ -62,6 +64,12 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "spans":
 		err = cmdSpans(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -76,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep|spans> [args]
+	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep|spans|serve|submit|watch> [args]
   list                      built-in scenarios
   show  <name|spec.json>    canonical spec JSON + content hash + probe support
   run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache
@@ -86,6 +94,11 @@ func usage() {
                             -log text|json|off -listen addr -spans file.jsonl -metrics file.json)
   spans <spans.jsonl>       convert exported sweep spans to Chrome trace JSON on stdout
                             (load in Perfetto or chrome://tracing)
+  serve                     long-running sweep server (flags: -listen -cache -workers -log
+                            -drain-timeout); POST /sweeps, NDJSON result streams, /progress
+  submit <name|spec.json>   post a sweep to a running server (flags: -addr -schemes -backend
+                            -backends -seeds -loads -sizes -watch)
+  watch [-from N] <id>      attach to a sweep on a running server and stream its points
 Run 'fnccbench <subcommand> -h' for flags.`)
 }
 

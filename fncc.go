@@ -27,6 +27,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/sweepd"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/workload"
@@ -249,7 +250,19 @@ type (
 	SweepRunner = harness.Runner
 	// SweepRow is one exported result line.
 	SweepRow = harness.Row
+	// SweepServer is the long-running HTTP sweep service over a
+	// SweepRunner (fnccbench serve); SweepServerConfig assembles one.
+	SweepServer       = sweepd.Server
+	SweepServerConfig = sweepd.Config
+	// SweepPoint is one streamed result on the server's NDJSON stream;
+	// SweepStatus one sweep's live summary.
+	SweepPoint  = sweepd.Point
+	SweepStatus = sweepd.Status
 )
+
+// NewSweepServer builds a sweep service and starts its worker pool; serve
+// its Handler() and stop it with Drain.
+var NewSweepServer = sweepd.New
 
 // Scenario and sweep entry points.
 var (

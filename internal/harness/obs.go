@@ -13,9 +13,22 @@ import (
 // flight. Exposed as constants so tests and the CLI summary line don't
 // drift from the writers.
 const (
-	MetricCacheHits   = "harness.cache_hits"
+	MetricCacheHits = "harness.cache_hits"
+	// MetricCacheMisses counts simulations: jobs neither cached, coalesced
+	// onto an identical in-flight job, nor errored.
 	MetricCacheMisses = "harness.cache_misses"
+	// MetricCacheCoalesced counts jobs that rode an identical in-flight
+	// simulation (singleflight within the process, or the .inflight marker
+	// across processes sharing a cache dir) instead of simulating.
+	MetricCacheCoalesced = "harness.cache_coalesced"
+	// MetricCacheReaped counts orphaned .tmp- files and stale .inflight
+	// markers the startup reaper deleted from the cache dir.
+	MetricCacheReaped = "harness.cache_reaped"
+	// MetricJobsDone and MetricJobsErrored partition every finished job:
+	// done counts successes (simulated, cached, or coalesced), errored the
+	// failures. Their sum is the number of runOne calls that returned.
 	MetricJobsDone    = "harness.jobs_done"
+	MetricJobsErrored = "harness.jobs_errored"
 
 	MetricEngineEvents       = "engine.events_total"
 	MetricEngineMallocs      = "engine.mallocs_total"
@@ -35,6 +48,7 @@ const (
 	MetricSweepTotal        = "sweep.jobs_total"
 	MetricSweepDone         = "sweep.jobs_done"
 	MetricSweepCached       = "sweep.jobs_cached"
+	MetricSweepErrored      = "sweep.jobs_errored"
 	MetricSweepInFlight     = "sweep.jobs_in_flight"
 	MetricSweepEventsPerSec = "sweep.events_per_sec"
 )
@@ -113,6 +127,7 @@ func observeProgress(reg *obs.Registry, p Progress) {
 	reg.Gauge(MetricSweepTotal).Set(float64(p.Total))
 	reg.Gauge(MetricSweepDone).Set(float64(p.Done))
 	reg.Gauge(MetricSweepCached).Set(float64(p.Cached))
+	reg.Gauge(MetricSweepErrored).Set(float64(p.Errored))
 	reg.Gauge(MetricSweepInFlight).Set(float64(p.InFlight))
 	reg.Gauge(MetricSweepEventsPerSec).Set(p.EventsPerSec)
 }

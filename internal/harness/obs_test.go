@@ -26,7 +26,8 @@ func TestProgressTrackerInvariants(t *testing.T) {
 	var mu sync.Mutex
 	var bad []string
 	check := func(p Progress) {
-		if p.Done+p.InFlight > p.Total || p.Done < 0 || p.InFlight < 0 || p.Cached < 0 {
+		if p.Done+p.Errored+p.InFlight > p.Total || p.Done < 0 || p.Errored < 0 ||
+			p.InFlight < 0 || p.Cached < 0 {
 			mu.Lock()
 			bad = append(bad, "count invariant broken")
 			mu.Unlock()
@@ -54,7 +55,7 @@ func TestProgressTrackerInvariants(t *testing.T) {
 				if i%2 == 0 {
 					res.Cached = true
 				}
-				tracker.finish(res)
+				tracker.finish(res, nil)
 			}
 		}(g)
 	}
@@ -79,7 +80,7 @@ func TestProgressTrackerInstantSweep(t *testing.T) {
 	tracker := newProgressTracker(3, func(p Progress) { last = p })
 	for i := 0; i < 3; i++ {
 		tracker.start()
-		tracker.finish(&scenario.Result{Cached: true, Metrics: map[string]float64{}})
+		tracker.finish(&scenario.Result{Cached: true, Metrics: map[string]float64{}}, nil)
 	}
 	if last.Done != 3 || last.Cached != 3 {
 		t.Fatalf("final progress = %+v", last)
@@ -87,10 +88,16 @@ func TestProgressTrackerInstantSweep(t *testing.T) {
 	if last.EventsPerSec != 0 || math.IsNaN(last.EventsPerSec) {
 		t.Errorf("all-cached sweep events/sec = %g, want exactly 0", last.EventsPerSec)
 	}
-	// A nil-result finish (errored job) must not panic or skew counts.
+	// An errored finish lands in Errored, not Done, and must not panic.
 	tracker2 := newProgressTracker(1, func(Progress) {})
 	tracker2.start()
-	tracker2.finish(nil)
+	tracker2.finish(nil, errors.New("boom"))
+	tracker2.mu.Lock()
+	p2 := tracker2.p
+	tracker2.mu.Unlock()
+	if p2.Done != 0 || p2.Errored != 1 || p2.InFlight != 0 {
+		t.Errorf("errored finish progress = %+v, want Errored=1 Done=0", p2)
+	}
 }
 
 // TestRunnerObsIntegration runs a small sweep with the full obs layer on

@@ -1,0 +1,223 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// SubmitRequest is POST /sweeps' JSON body: either a base spec plus grid
+// (the same shape `fnccbench sweep` expands, and harness.Sweep's JSON
+// encoding) or an explicit spec list. When both are present the explicit
+// list wins.
+type SubmitRequest struct {
+	Base  scenario.Spec   `json:"base"`
+	Grid  harness.Grid    `json:"grid"`
+	Specs []scenario.Spec `json:"specs,omitempty"`
+}
+
+// SubmitResponse acknowledges an admitted sweep.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+	// Results is the streaming endpoint for this sweep, NDJSON, points in
+	// completion order while the sweep runs.
+	Results string `json:"results"`
+}
+
+// maxSubmitBytes bounds a submit body; a sweep request is a spec and a
+// grid, not a payload.
+const maxSubmitBytes = 1 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /sweeps                submit (SubmitRequest -> SubmitResponse)
+//	GET  /sweeps                list sweep statuses
+//	GET  /sweeps/{id}           one sweep's status
+//	GET  /sweeps/{id}/results   NDJSON result stream (?from=N resumes)
+//	GET  /progress              per-sweep rows + runner snapshot
+//	GET  /debug/vars            metrics-registry snapshot
+//	GET  /debug/pprof/*         pprof
+//
+// Every handler runs inside the request-metrics middleware: a server.*
+// counter bump, a request span, and a latency histogram observation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("POST /sweeps/{$}", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/results", s.handleResults)
+	// The live debug surface every fnccbench -listen already serves, with
+	// /progress promoted from one sweep's snapshot to the service table.
+	debug := obs.NewDebugMux(s.reg, func() any { return s.progressBody() })
+	mux.Handle("GET /progress", debug)
+	mux.Handle("GET /debug/", debug)
+	return s.instrument(mux)
+}
+
+// progressBody is /progress's JSON shape at service scope: one row per
+// sweep plus the registry's live sweep/cache counters and the open spans.
+type progressBodyT struct {
+	Sweeps []Status         `json:"sweeps"`
+	Jobs   []obs.ActiveSpan `json:"jobs,omitempty"`
+}
+
+func (s *Server) progressBody() any {
+	return progressBodyT{Sweeps: s.statuses(), Jobs: s.tracer.Active()}
+}
+
+// instrument wraps the mux with the request middleware.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		s.reg.Counter(MetricRequests).Add(1)
+		span := s.tracer.Start("http", nil)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		span.SetAttr("status", strconv.Itoa(sw.code))
+		span.End()
+		if sw.code >= 400 {
+			s.reg.Counter(MetricRequestErrors).Add(1)
+		}
+		s.reg.Histogram(MetricRequestMs).
+			Observe(float64(time.Since(started).Nanoseconds()) / 1e6)
+	})
+}
+
+// statusWriter records the response code for the middleware, forwarding
+// Flush so NDJSON streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxSubmitBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("submit body exceeds %d bytes", maxSubmitBytes))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse sweep: %w", err))
+		return
+	}
+	specs := req.Specs
+	if len(specs) == 0 {
+		specs, err = harness.Sweep{Base: req.Base, Grid: req.Grid}.Expand()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	sw, err := s.Submit(specs)
+	switch {
+	case err == errDraining:
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(SubmitResponse{
+		ID:      sw.id,
+		Points:  len(specs),
+		Results: "/sweeps/" + sw.id + "/results",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.statuses())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sw.status())
+}
+
+// handleResults streams a sweep's points as NDJSON in completion order,
+// flushing after every batch so clients see points while the sweep is
+// still running. ?from=N skips the first N points (resume after a dropped
+// connection). The stream ends when every point has been delivered; a
+// client connecting after the sweep finished gets the full replay.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q", v))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := from
+	for {
+		pts, finished := sw.snapshot(sent)
+		for _, p := range pts {
+			if err := enc.Encode(p); err != nil {
+				return // client went away
+			}
+			sent++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if finished && sent >= sw.total() {
+			return
+		}
+		select {
+		case <-sw.await(sent):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,220 @@
+package sweepd
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// Point is one streamed sweep result: the harness export row (sweep
+// coordinates + metric map) plus the service-level envelope. Errored
+// points carry Error instead of a Row; skipped points (drain) carry
+// Skipped. Exactly total points are eventually streamed per sweep.
+type Point struct {
+	// Index is the point's position in the expanded sweep (spec order),
+	// NOT its completion rank — points stream in completion order.
+	Index int `json:"index"`
+	// Cached is true when the point was served from the disk cache or
+	// coalesced onto an identical in-flight job rather than simulated.
+	Cached  bool   `json:"cached,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"`
+	// Row is the same shape `fnccbench sweep -format json` exports.
+	Row *harness.Row `json:"row,omitempty"`
+}
+
+// Status is a sweep's point-in-time summary: the /sweeps listing, the
+// per-sweep row on /progress, and the poll target for clients that do not
+// stream.
+type Status struct {
+	ID     string `json:"id"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Cached int    `json:"cached"`
+	// Errored counts failed points, Skipped the points a drain abandoned
+	// before they started.
+	Errored  int  `json:"errored"`
+	Skipped  int  `json:"skipped"`
+	Running  int  `json:"running"`
+	Finished bool `json:"finished"`
+	// Interrupted is set when a drain skipped points; resubmitting the
+	// same sweep to a restarted server serves the finished prefix from
+	// cache and simulates only the remainder.
+	Interrupted bool      `json:"interrupted,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	ElapsedMs   float64   `json:"elapsed_ms"`
+}
+
+// sweepState accumulates a live sweep's results in completion order and
+// wakes streamers as points land.
+type sweepState struct {
+	id        string
+	specs     []scenario.Spec
+	root      *obs.Span
+	submitted time.Time
+
+	// stop aborts the feeder (Drain); feederDone is closed once the feeder
+	// has stopped enqueueing (normally or via stop).
+	stop       chan struct{}
+	feederDone chan struct{}
+
+	mu       sync.Mutex
+	points   []Point // completion order
+	running  int
+	done     int
+	cached   int
+	errored  int
+	skipped  int
+	finished bool
+	// waiters are streamer wake-up channels, signalled (closed) whenever
+	// points grow or the sweep finishes.
+	waiters []chan struct{}
+}
+
+func newSweepState(id string, specs []scenario.Spec, tracer *obs.Tracer) *sweepState {
+	sw := &sweepState{
+		id:         id,
+		specs:      specs,
+		submitted:  time.Now(),
+		stop:       make(chan struct{}),
+		feederDone: make(chan struct{}),
+	}
+	sw.root = tracer.Start("sweep", nil)
+	sw.root.SetAttr("sweep_id", id)
+	return sw
+}
+
+// fed marks the feeder finished after enqueueing every point.
+func (sw *sweepState) fed() { close(sw.feederDone) }
+
+// abort stops the feeder; queued-but-unsent points will be skipped.
+func (sw *sweepState) abort() {
+	select {
+	case <-sw.stop:
+	default:
+		close(sw.stop)
+	}
+}
+
+// jobStarted bumps the running count; complete decrements it.
+func (sw *sweepState) jobStarted() {
+	sw.mu.Lock()
+	sw.running++
+	sw.mu.Unlock()
+}
+
+// complete publishes one finished point and wakes streamers.
+func (sw *sweepState) complete(idx int, res *scenario.Result, err error) {
+	p := Point{Index: idx}
+	switch {
+	case err != nil:
+		p.Error = err.Error()
+	default:
+		p.Cached = res.Cached
+		row := harness.Rows([]*scenario.Result{res})[0]
+		p.Row = &row
+	}
+	sw.mu.Lock()
+	if sw.running > 0 {
+		sw.running--
+	}
+	sw.points = append(sw.points, p)
+	switch {
+	case err != nil:
+		sw.errored++
+	default:
+		sw.done++
+		if res.Cached {
+			sw.cached++
+		}
+	}
+	sw.settleLocked()
+	sw.wakeLocked()
+	sw.mu.Unlock()
+}
+
+// skipFrom records every not-yet-enqueued point from idx on as skipped
+// (drain path) and closes the feeder.
+func (sw *sweepState) skipFrom(idx int) {
+	sw.mu.Lock()
+	for i := idx; i < len(sw.specs); i++ {
+		sw.points = append(sw.points, Point{Index: i, Skipped: true})
+		sw.skipped++
+	}
+	sw.settleLocked()
+	sw.wakeLocked()
+	sw.mu.Unlock()
+	close(sw.feederDone)
+}
+
+// settleLocked marks the sweep finished once every point is accounted for
+// (mu held).
+func (sw *sweepState) settleLocked() {
+	if !sw.finished && len(sw.points) == len(sw.specs) {
+		sw.finished = true
+		sw.root.SetAttr("points", strconv.Itoa(len(sw.specs)))
+		sw.root.End()
+	}
+}
+
+// wakeLocked signals every streamer (mu held).
+func (sw *sweepState) wakeLocked() {
+	for _, w := range sw.waiters {
+		close(w)
+	}
+	sw.waiters = nil
+}
+
+// await returns a channel that closes the next time the sweep's state
+// advances past n points (or it finishes); if it already has, the returned
+// channel is closed immediately.
+func (sw *sweepState) await(n int) <-chan struct{} {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ch := make(chan struct{})
+	if len(sw.points) > n || sw.finished {
+		close(ch)
+		return ch
+	}
+	sw.waiters = append(sw.waiters, ch)
+	return ch
+}
+
+// snapshot copies the points at [from:] along with the finished flag; a
+// from beyond the current point count yields an empty batch rather than a
+// panic (an over-large ?from= simply waits for the stream to catch up).
+func (sw *sweepState) snapshot(from int) ([]Point, bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if from > len(sw.points) {
+		from = len(sw.points)
+	}
+	pts := make([]Point, len(sw.points)-from)
+	copy(pts, sw.points[from:])
+	return pts, sw.finished
+}
+
+// total is the sweep's point count (immutable after construction).
+func (sw *sweepState) total() int { return len(sw.specs) }
+
+func (sw *sweepState) status() Status {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return Status{
+		ID:          sw.id,
+		Total:       len(sw.specs),
+		Done:        sw.done,
+		Cached:      sw.cached,
+		Errored:     sw.errored,
+		Skipped:     sw.skipped,
+		Running:     sw.running,
+		Finished:    sw.finished,
+		Interrupted: sw.skipped > 0,
+		SubmittedAt: sw.submitted,
+		ElapsedMs:   float64(time.Since(sw.submitted).Nanoseconds()) / 1e6,
+	}
+}
