@@ -36,6 +36,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -87,11 +89,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fnccbench <list|show|run|sweep|spans|serve|submit|watch> [args]
   list                      built-in scenarios
   show  <name|spec.json>    canonical spec JSON + content hash + probe support
-  run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -cache
-                            -telemetry <dir> -json -log text|json|off -listen addr)
+  run   <name|spec.json>    execute one scenario (flags: -scheme -backend -seed -load -workers
+                            -cache -telemetry <dir> -json -log text|json|off -listen addr
+                            -cpuprofile file -memprofile file)
   sweep <name|spec.json>    expand and run a grid (flags: -schemes -backend -backends -seeds
                             -loads -sizes -workers -cache -agg -progress -format table|csv|json
-                            -log text|json|off -listen addr -spans file.jsonl -metrics file.json)
+                            -log text|json|off -listen addr -spans file.jsonl -metrics file.json
+                            -cpuprofile file -memprofile file)
   spans <spans.jsonl>       convert exported sweep spans to Chrome trace JSON on stdout
                             (load in Perfetto or chrome://tracing)
   serve                     long-running sweep server (flags: -listen -cache -workers -log
@@ -162,6 +166,49 @@ func cmdShow(args []string) error {
 	}
 	fmt.Printf("  %-8s %s\n", "trace", trace)
 	return nil
+}
+
+// startProfiles implements the -cpuprofile/-memprofile pair shared by run
+// and sweep: a one-shot pprof capture without standing up the serve debug
+// mux. The returned stop function ends the CPU profile and writes the heap
+// profile; callers must invoke it before printing results so the files are
+// complete even when the command errors afterwards.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cpuprofile: %w", err))
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("memprofile: %w", err))
+			} else {
+				runtime.GC() // settle live-heap accounting before the snapshot
+				werr := pprof.WriteHeapProfile(f)
+				cerr := f.Close()
+				if err := errors.Join(werr, cerr); err != nil {
+					errs = append(errs, fmt.Errorf("memprofile: %w", err))
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
 }
 
 // obsEnv is the per-invocation observability state the -log and -listen
@@ -255,8 +302,11 @@ func cmdRun(args []string) error {
 	telemetryDir := fs.String("telemetry", "", "export telemetry series to this directory "+
 		"(adds a default telemetry block if the spec has none)")
 	asJSON := fs.Bool("json", false, "print the full result as JSON")
+	workers := fs.Int("workers", 0, "parallel packet-executor width for this run (0/1 = serial)")
 	logMode := fs.String("log", "text", "status log format: text|json|off")
 	listen := fs.String("listen", "", "serve /debug/vars, /debug/pprof and /progress on this address")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	fs.Parse(args[1:])
 
 	env, err := setupObs(*logMode, *listen)
@@ -279,11 +329,21 @@ func cmdRun(args []string) error {
 	if *load > 0 {
 		sp.Load = *load
 	}
+	if *workers > 0 {
+		sp.Workers = *workers
+	}
 	if *telemetryDir != "" && sp.Telemetry == nil {
 		sp.Telemetry = defaultTelemetry(sp)
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
 	r := &harness.Runner{CacheDir: *cache, Obs: env.reg, Tracer: env.tracer}
 	res, err := r.Run(sp)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -312,10 +372,11 @@ func cmdRun(args []string) error {
 
 // defaultTelemetry is the block `run -telemetry` injects when the spec has
 // none: every probe class the backend supports at a 10 us cadence, plus a
-// bounded event trace on the packet backend.
+// bounded event trace on the packet backend (serial only — the flight
+// recorder is not shard-aware, and validation rejects it under workers > 1).
 func defaultTelemetry(sp scenario.Spec) *scenario.TelemetrySpec {
 	t := &scenario.TelemetrySpec{IntervalUs: 10, Probes: sp.SupportedProbes()}
-	if sp.BackendName() != scenario.BackendFluid {
+	if sp.BackendName() != scenario.BackendFluid && sp.Workers <= 1 {
 		t.TraceCap = 4096
 	}
 	return t
@@ -341,6 +402,8 @@ func cmdSweep(args []string) error {
 	listen := fs.String("listen", "", "serve /debug/vars, /debug/pprof and /progress on this address")
 	spansOut := fs.String("spans", "", "export the sweep's span trace as JSONL to this file")
 	metricsOut := fs.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	memProf := fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	fs.Parse(args[1:])
 
 	env, err := setupObs(*logMode, *listen)
@@ -389,9 +452,18 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Resolve the pool against the shared GOMAXPROCS budget up front so the
+	// log shows the worker count the sweep will actually run with (points
+	// using the parallel packet executor shrink the pool; see
+	// harness.PoolWorkers).
+	pool := harness.PoolWorkers(*workers, harness.MaxSimWorkers(specs))
 	env.logger.Info("sweep starting", "scenario", args[0], "points", len(specs),
-		"workers", *workers, "cache", *cache)
+		"workers", pool, "sim_workers", harness.MaxSimWorkers(specs), "cache", *cache)
 
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
 	runner := &harness.Runner{CacheDir: *cache, Workers: *workers,
 		Obs: env.reg, Tracer: env.tracer}
 	showProgress := *progress && stderrIsTerminal()
@@ -412,6 +484,9 @@ func cmdSweep(args []string) error {
 	defer stop()
 	results, runErr := runner.RunAllCtx(ctx, specs)
 	stop()
+	if perr := stopProf(); perr != nil {
+		env.logger.Error("profile export failed", "err", perr)
+	}
 	if showProgress {
 		fmt.Fprintln(os.Stderr)
 	}

@@ -80,7 +80,7 @@ type DCQCN struct {
 func NewDCQCN(cfg DCQCNConfig, f *netsim.Flow) *DCQCN {
 	d := &DCQCN{
 		cfg:   cfg,
-		eng:   f.SrcHost.Net().Eng,
+		eng:   f.SrcHost.Engine(),
 		flow:  f,
 		b:     f.SrcHost.Port().RateBps(),
 		alpha: 1,
@@ -280,7 +280,7 @@ func NewDCQCNScheme(cfg DCQCNConfig) netsim.Scheme {
 			d := NewDCQCN(cfg, f)
 			// Timers run from flow start; the engine is positioned before
 			// Start when flows are added, so arm lazily at first event.
-			f.SrcHost.Net().Eng.Schedule(f.Start, func() {
+			f.SrcHost.Engine().Schedule(f.Start, func() {
 				d.armAlphaTimer()
 				d.armIncTimer()
 			})

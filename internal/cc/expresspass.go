@@ -99,7 +99,7 @@ func (r *expressPassReceiver) WantCnp(*packet.Packet, *netsim.Host, sim.Time) bo
 // timer. The inter-credit gap is recomputed every tick from the live
 // active-inbound count, so shares stay fair as flows come and go.
 func (r *expressPassReceiver) OnInboundStart(f *netsim.Flow, h *netsim.Host) {
-	eng := h.Net().Eng
+	eng := h.Engine()
 	seg := r.cfg.SegmentBytes
 	wire := seg + packet.DataHeaderBytes
 	creditRate := float64(h.Port().RateBps()) * r.cfg.CreditRateFraction

@@ -116,7 +116,7 @@ func newRoCCHook(cfg RoCCConfig, sw *netsim.Switch) *roccHook {
 	for i := range h.fair {
 		h.fair[i] = float64(maxRate(sw, i))
 	}
-	sw.Net().Eng.Ticker(cfg.Period, h.update)
+	sw.Engine().Ticker(cfg.Period, h.update)
 	return h
 }
 

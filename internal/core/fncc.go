@@ -156,7 +156,7 @@ func NewSwitchHook(cfg Config, sw *netsim.Switch) *SwitchHook {
 	if cfg.TableUpdatePeriod > 0 {
 		h.table = make([]packet.IntHop, sw.NumPorts())
 		h.refresh()
-		sw.Net().Eng.Ticker(cfg.TableUpdatePeriod, h.refresh)
+		sw.Engine().Ticker(cfg.TableUpdatePeriod, h.refresh)
 	}
 	return h
 }

@@ -25,6 +25,9 @@ type FairnessConfig struct {
 	RateBps     int64
 	Stagger     sim.Time
 	SampleEvery sim.Time
+	// Workers > 1 enables the sharded parallel packet executor
+	// (bit-identical to serial; see topo.ChainOpts.Workers).
+	Workers int
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
 	// Telemetry, when enabled, attaches in-simulation probes for the run.
@@ -71,6 +74,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	}
 	opts := topo.DefaultChainOpts(cfg.Senders)
 	opts.RateBps = cfg.RateBps
+	opts.Workers = cfg.Workers
 	c, err := topo.BuildChain(netsim.DefaultConfig(), scheme, opts)
 	if err != nil {
 		return nil, err
@@ -103,7 +107,7 @@ func RunFairness(cfg FairnessConfig) (*FairnessResult, error) {
 	allFrom := sim.Time(cfg.Senders-1) * cfg.Stagger
 	allTo := sim.Time(cfg.Senders) * cfg.Stagger
 	win := cfg.SampleEvery.Seconds()
-	stop := c.Net.Eng.Ticker(cfg.SampleEvery, func() {
+	stop := c.Net.GlobalTicker(cfg.SampleEvery, func() {
 		now := c.Net.Eng.Now()
 		var rates []float64
 		for i, f := range flows {

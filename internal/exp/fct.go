@@ -34,6 +34,9 @@ type FCTConfig struct {
 	// CoreRateBps oversubscribes the aggregation-core tier when set below
 	// RateBps; zero keeps the paper's 1:1 fabric.
 	CoreRateBps int64
+	// Workers > 1 enables the sharded parallel packet executor
+	// (bit-identical to serial; see topo.FatTreeOpts.Workers).
+	Workers int
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
 	// Telemetry, when enabled, attaches in-simulation probes for the run.
@@ -127,7 +130,8 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = cfg.Seed
 	ftOpts := topo.FatTreeOpts{K: cfg.K, RateBps: cfg.RateBps,
-		CoreRateBps: cfg.CoreRateBps, Delay: 1500 * sim.Nanosecond}
+		CoreRateBps: cfg.CoreRateBps, Delay: 1500 * sim.Nanosecond,
+		Workers: cfg.Workers}
 	ft, err := topo.BuildFatTree(ncfg, scheme, ftOpts)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,9 @@ type HopConfig struct {
 	Flow1Bytes  int64
 	Duration    sim.Time
 	SampleEvery sim.Time
+	// Workers > 1 enables the sharded parallel packet executor
+	// (bit-identical to serial; see topo.ChainOpts.Workers).
+	Workers int
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
 	// Telemetry, when enabled, attaches in-simulation probes for the run.
@@ -90,6 +93,7 @@ func RunHop(cfg HopConfig) (*HopResult, error) {
 	opts := topo.DefaultChainOpts(2)
 	opts.RateBps = cfg.RateBps
 	opts.SenderAttach = []int{0, at}
+	opts.Workers = cfg.Workers
 	c, err := topo.BuildChain(netsim.DefaultConfig(), scheme, opts)
 	if err != nil {
 		return nil, err
@@ -115,7 +119,7 @@ func RunHop(cfg HopConfig) (*HopResult, error) {
 
 	var lastTx uint64
 	winBits := float64(cfg.RateBps) * cfg.SampleEvery.Seconds()
-	stop := c.Net.Eng.Ticker(cfg.SampleEvery, func() {
+	stop := c.Net.GlobalTicker(cfg.SampleEvery, func() {
 		now := c.Net.Eng.Now()
 		res.Queue.Add(now, float64(port.QueueBytes()))
 		tx := port.TxBytes()

@@ -23,6 +23,9 @@ type IncastConfig struct {
 	RateBps int64
 	// Deadline bounds the run.
 	Deadline sim.Time
+	// Workers > 1 enables the sharded parallel packet executor
+	// (bit-identical to serial; see topo.ChainOpts.Workers).
+	Workers int
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme.
 	MakeScheme SchemeBuilder `json:"-"`
 	// Telemetry, when enabled, attaches in-simulation probes for the run.
@@ -75,6 +78,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	}
 	opts := topo.DefaultChainOpts(cfg.Fanout)
 	opts.RateBps = cfg.RateBps
+	opts.Workers = cfg.Workers
 	for i := range opts.SenderAttach {
 		opts.SenderAttach[i] = opts.Switches - 1 // all on the last switch
 	}
@@ -90,7 +94,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	res := &IncastResult{Scheme: cfg.Scheme, Fanout: cfg.Fanout, AllDoneAt: -1, JainFinalRates: 1}
 	port := c.HopPort(opts.Switches - 1)
 	baseRTT := c.Net.Cfg.BaseRTT
-	stop := c.Net.Eng.Ticker(5*sim.Microsecond, func() {
+	stop := c.Net.GlobalTicker(5*sim.Microsecond, func() {
 		if q := port.QueueBytes(); q > res.QueuePeak {
 			res.QueuePeak = q
 		}

@@ -45,6 +45,9 @@ type MicroConfig struct {
 	// PFCPauseBytes overrides the pause threshold (paper micro: 500 KB);
 	// zero keeps the netsim default.
 	PFCPauseBytes int64
+	// Workers > 1 enables the sharded parallel packet executor
+	// (bit-identical to serial; see topo.ChainOpts.Workers).
+	Workers int
 	// Scheme names the algorithm under test.
 	Scheme string
 	// MakeScheme, when non-nil, overrides the registry lookup of Scheme
@@ -113,6 +116,7 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	}
 	opts := topo.DefaultChainOpts(cfg.Senders)
 	opts.RateBps = cfg.RateBps
+	opts.Workers = cfg.Workers
 	c, err := topo.BuildChain(ncfg, scheme, opts)
 	if err != nil {
 		return nil, err
@@ -136,7 +140,7 @@ func RunMicro(cfg MicroConfig) (*MicroResult, error) {
 	bport := c.BottleneckPort()
 	var lastTx uint64
 	winBits := float64(cfg.RateBps) * cfg.SampleEvery.Seconds()
-	stop := c.Net.Eng.Ticker(cfg.SampleEvery, func() {
+	stop := c.Net.GlobalTicker(cfg.SampleEvery, func() {
 		now := c.Net.Eng.Now()
 		res.Queue.Add(now, float64(bport.QueueBytes()))
 		tx := bport.TxBytes()

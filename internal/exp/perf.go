@@ -33,6 +33,10 @@ type PerfStats struct {
 	Mallocs uint64 `json:"mallocs"`
 	// AllocBytes is the total bytes allocated across the run.
 	AllocBytes uint64 `json:"alloc_bytes"`
+	// Shard summarizes the parallel packet executor when the run was
+	// sharded; Shard.Shards == 0 for serial runs. Windows and Messages are
+	// deterministic for a given topology partition, like Events.
+	Shard netsim.ShardStats `json:"shard,omitempty"`
 }
 
 // allocSamples reads the cumulative heap-allocation counters through
@@ -66,8 +70,8 @@ func BeginPerf() PerfProbe {
 func (p PerfProbe) End(net *netsim.Network) PerfStats {
 	wall := time.Since(p.t0).Seconds()
 	objects, bytes := allocSamples()
-	es := net.Eng.Stats()
-	ps := net.Pool.Stats()
+	es := net.TotalEngineStats()
+	ps := net.TotalPoolStats()
 	out := PerfStats{
 		Events:         es.Processed,
 		WallSeconds:    wall,
@@ -75,6 +79,7 @@ func (p PerfProbe) End(net *netsim.Network) PerfStats {
 		PoolHitRate:    ps.HitRate(),
 		Mallocs:        objects - p.mallocs0,
 		AllocBytes:     bytes - p.bytes0,
+		Shard:          net.ShardStats(),
 	}
 	if wall > 0 {
 		out.EventsPerSec = float64(es.Processed) / wall

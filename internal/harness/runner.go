@@ -259,7 +259,11 @@ func (r *Runner) RunAllCtx(ctx context.Context, specs []scenario.Spec) ([]*scena
 	notify := r.progressNotify()
 	tracker := newProgressTracker(len(specs), notify)
 	root := r.Tracer.Start("sweep", nil)
-	outs := exp.ParallelMap(specs, r.Workers, func(sp scenario.Spec) out {
+	// Oversubscription guard: points running the sharded packet executor
+	// multiply the pool's concurrency, so the pool shrinks to keep
+	// sweep-level × sim-level workers within the GOMAXPROCS budget.
+	workers := PoolWorkers(r.Workers, MaxSimWorkers(specs))
+	outs := exp.ParallelMap(specs, workers, func(sp scenario.Spec) out {
 		if ctx.Err() != nil {
 			return out{skipped: true}
 		}

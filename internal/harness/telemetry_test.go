@@ -29,17 +29,19 @@ func telemetrySpec() scenario.Spec {
 	}
 }
 
-// TestCacheKeysUnchangedByTelemetryLayer pins cache keys captured before the
-// telemetry layer existed: specs without a telemetry block (or with an
-// all-zero one) must canonicalize byte-for-byte as they did then, so sweep
-// caches written by earlier builds stay valid.
+// TestCacheKeysUnchangedByTelemetryLayer pins cache keys for specs without
+// a telemetry block (or with an all-zero one): they must canonicalize
+// byte-for-byte as they did when the keys were captured, so sweep caches
+// written by earlier builds of the same cache epoch stay valid. The values
+// below are the fncc-scenario-v2 keys (the epoch bumped with the engine's
+// canonical collision-order change).
 func TestCacheKeysUnchangedByTelemetryLayer(t *testing.T) {
 	pinned := map[string]string{
-		"micro":               "sc-1218277cd851ef43",
-		"incast":              "sc-02b9d8fa3da895a4",
-		"fct-websearch":       "sc-e425e895208612ba",
-		"fct-websearch-fluid": "sc-1fa72130dd448200",
-		"permutation-fluid":   "sc-9a99ba2eee414584",
+		"micro":               "sc-aed404ce9f8898de",
+		"incast":              "sc-494032cbfb559e74",
+		"fct-websearch":       "sc-e7d6670fa8fd5bcc",
+		"fct-websearch-fluid": "sc-b28b07433ca15a81",
+		"permutation-fluid":   "sc-a30191ec6f7ae645",
 	}
 	for name, want := range pinned {
 		sp, err := scenario.Lookup(name)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -83,6 +84,13 @@ type Host struct {
 	net  *Network
 	port *Port
 
+	// Execution context: the owning shard's engine/pool/collector under
+	// sharded execution, the Network's own otherwise (see shard.go).
+	eng   *sim.Engine
+	pool  *packet.Pool
+	shard *Shard
+	fct   *metrics.FCTCollector
+
 	sending []*Flow // flows this host originates, active or pending
 	rr      int     // round-robin cursor over sending
 	byID    map[uint64]*Flow
@@ -123,6 +131,14 @@ func (h *Host) Port() *Port { return h.port }
 // Net returns the owning network.
 func (h *Host) Net() *Network { return h.net }
 
+// Engine returns the event engine driving this host: the Network's engine in
+// serial mode, the owning shard's under sharded execution. CC
+// implementations must schedule host-side timers here, never on Net().Eng.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// Shard returns the shard owning this host (nil when running serial).
+func (h *Host) Shard() *Shard { return h.shard }
+
 // ActiveInbound returns the number of inbound flows whose QP is live: the
 // count the FNCC receiver writes into ACKs as N.
 func (h *Host) ActiveInbound() int { return h.activeInbound }
@@ -148,20 +164,20 @@ func (h *Host) Receive(pkt *packet.Packet, inPort int) {
 	case packet.Cnp:
 		h.cnpRx++
 		if f, ok := h.byID[pkt.FlowID]; ok && !f.finished {
-			f.cc.OnCnp(f, h.net.Eng.Now())
+			f.cc.OnCnp(f, h.eng.Now())
 		}
 	case packet.Credit:
 		if f, ok := h.byID[pkt.FlowID]; ok && !f.finished {
 			f.credited += int64(pkt.PayloadBytes)
 			if sink, ok := f.cc.(CreditSink); ok {
-				sink.OnCredit(f, int64(pkt.PayloadBytes), h.net.Eng.Now())
+				sink.OnCredit(f, int64(pkt.PayloadBytes), h.eng.Now())
 			}
 			h.trySend()
 		}
 	default:
 		panic(fmt.Sprintf("netsim: host %d received %v", h.id, pkt.Type))
 	}
-	h.net.Pool.Put(pkt)
+	h.pool.Put(pkt)
 }
 
 // handleData runs the receiver side: in-order delivery, go-back-N NACKs,
@@ -171,13 +187,13 @@ func (h *Host) handleData(d *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("netsim: host %d: data for unknown flow %d", h.id, d.FlowID))
 	}
-	now := h.net.Eng.Now()
+	now := h.eng.Now()
 	cfg := &h.net.Cfg
 
 	// DCQCN: every ECN-marked arrival may elicit a CNP, paced by the
 	// receiver CC.
 	if d.ECN && h.net.Scheme.Receiver.WantCnp(d, h, now) {
-		cnp := h.net.Pool.Get()
+		cnp := h.pool.Get()
 		cnp.Type, cnp.FlowID = packet.Cnp, f.ID
 		cnp.Src, cnp.Dst = h.id, f.SrcHost.id
 		cnp.SrcPort, cnp.DstPort = f.DstPort, f.SrcPort
@@ -196,7 +212,7 @@ func (h *Host) handleData(d *packet.Packet) {
 			if pacer, ok := h.net.Scheme.Receiver.(CreditPacer); ok {
 				pacer.OnInboundDone(f, h)
 			}
-			h.net.flowCompleted(f, now)
+			h.completeFlow(f, now)
 		}
 		f.ackPending++
 		if f.ackPending >= cfg.AckEveryN || d.Last || f.rcvDone {
@@ -219,13 +235,13 @@ func (h *Host) handleData(d *packet.Packet) {
 // sendAck emits a cumulative ACK or NACK for flow f, letting the scheme's
 // receiver fill its fields (INT echo, N, fair rate).
 func (h *Host) sendAck(f *Flow, data *packet.Packet, typ packet.Type) {
-	ack := h.net.Pool.Get()
+	ack := h.pool.Get()
 	ack.Type, ack.FlowID = typ, f.ID
 	ack.Src, ack.Dst = h.id, f.SrcHost.id
 	ack.SrcPort, ack.DstPort = f.DstPort, f.SrcPort
 	ack.Seq = f.rcvNxt
 	ack.Class = f.Class
-	ack.SendTime = h.net.Eng.Now()
+	ack.SendTime = h.eng.Now()
 	h.net.Scheme.Receiver.FillAck(ack, data, h)
 	h.sendControl(ack)
 }
@@ -239,13 +255,13 @@ func (h *Host) sendControl(pkt *packet.Packet) {
 // SendCredit emits a receiver-driven transmission grant for inbound flow f
 // (ExpressPass-style schemes; see netsim.CreditPacer).
 func (h *Host) SendCredit(f *Flow, bytes int) {
-	cr := h.net.Pool.Get()
+	cr := h.pool.Get()
 	cr.Type, cr.FlowID = packet.Credit, f.ID
 	cr.Src, cr.Dst = h.id, f.SrcHost.id
 	cr.SrcPort, cr.DstPort = f.DstPort, f.SrcPort
 	cr.PayloadBytes = bytes
 	cr.Class = f.Class
-	cr.SendTime = h.net.Eng.Now()
+	cr.SendTime = h.eng.Now()
 	h.sendControl(cr)
 }
 
@@ -255,7 +271,7 @@ func (h *Host) handleAck(a *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("netsim: host %d: ack for unknown flow %d", h.id, a.FlowID))
 	}
-	now := h.net.Eng.Now()
+	now := h.eng.Now()
 
 	progressed := false
 	if a.Seq > f.sndUna {
@@ -278,7 +294,7 @@ func (h *Host) handleAck(a *packet.Packet) {
 
 	if f.sndUna >= f.SizeBytes && !f.finished {
 		f.finished = true
-		h.net.Eng.Cancel(f.retxEv)
+		h.eng.Cancel(f.retxEv)
 		f.retxEv = sim.Event{}
 	} else if progressed {
 		h.armRetx(f)
@@ -301,7 +317,7 @@ func (h *Host) trySend() {
 	if p.busy || p.QueueFrames() > 0 {
 		return // transmitter occupied; onIdle will call back
 	}
-	now := h.net.Eng.Now()
+	now := h.eng.Now()
 	payload := h.net.Cfg.PayloadBytes()
 
 	soonest := sim.Time(-1)
@@ -339,7 +355,7 @@ func (h *Host) trySend() {
 
 // sendSegment injects one data segment of flow f.
 func (h *Host) sendSegment(f *Flow, payload int, now sim.Time) {
-	pkt := h.net.Pool.Get()
+	pkt := h.pool.Get()
 	pkt.Type, pkt.FlowID = packet.Data, f.ID
 	pkt.Src, pkt.Dst = h.id, f.DstHost.id
 	pkt.SrcPort, pkt.DstPort = f.SrcPort, f.DstPort
@@ -387,8 +403,8 @@ func (h *Host) armPacer(at sim.Time) {
 	if h.pacerEv.Pending() && h.pacerEv.At() <= at {
 		return // an earlier-or-equal wakeup is already pending
 	}
-	h.net.Eng.Cancel(h.pacerEv)
-	h.pacerEv = h.net.Eng.ScheduleArg(at, hostPacerFired, h)
+	h.eng.Cancel(h.pacerEv)
+	h.pacerEv = h.eng.ScheduleArg(at, hostPacerFired, h)
 }
 
 // flowRetxFired is the go-back-N backstop callback: rewind to the last
@@ -415,7 +431,7 @@ func (h *Host) armRetx(f *Flow) {
 	if cfg.RetxTimeout <= 0 || f.finished {
 		return
 	}
-	h.net.Eng.Cancel(f.retxEv)
+	h.eng.Cancel(f.retxEv)
 	f.retxSnap = f.sndUna
-	f.retxEv = h.net.Eng.AfterArg(cfg.RetxTimeout, flowRetxFired, f)
+	f.retxEv = h.eng.AfterArg(cfg.RetxTimeout, flowRetxFired, f)
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -47,8 +48,16 @@ type Network struct {
 	// pause/resume and sender rate changes (see TraceEventKind and
 	// internal/trace for recorders). Every emit site nil-checks this
 	// field, so the disabled path costs one predictable branch; leave nil
-	// in performance-sensitive runs.
+	// in performance-sensitive runs. Incompatible with sharded execution
+	// (trace emission is not synchronized across shards).
 	Trace func(ev TraceEvent)
+
+	// sharding, when non-nil, switches Run* to the conservative parallel
+	// executor (see shard.go). Configured before node creation.
+	sharding *Sharding
+
+	// nextPortUID numbers ports in creation order (see Port.uid).
+	nextPortUID int32
 }
 
 // TraceEventKind discriminates trace records.
@@ -147,13 +156,32 @@ func (n *Network) allocID() int32 {
 	return id
 }
 
+// buildCtx returns the execution context (engine, pool, shard) nodes created
+// now must bind to: the Network's own in serial mode, the current build
+// shard's under sharding.
+func (n *Network) buildCtx() (*sim.Engine, *packet.Pool, *Shard) {
+	if n.sharding == nil {
+		return n.Eng, n.Pool, nil
+	}
+	sh := n.sharding.build
+	return sh.eng, sh.pool, sh
+}
+
 // NewHost adds a single-NIC end station.
 func (n *Network) NewHost() *Host {
+	eng, pool, sh := n.buildCtx()
 	h := &Host{
 		id:      n.allocID(),
 		net:     n,
+		eng:     eng,
+		pool:    pool,
+		shard:   sh,
+		fct:     n.FCT,
 		byID:    make(map[uint64]*Flow),
 		inbound: make(map[uint64]*Flow),
+	}
+	if sh != nil {
+		h.fct = sh.fct
 	}
 	h.port = newPort(h, 0, n)
 	h.port.onIdle = func(*Port) { h.trySend() }
@@ -167,12 +195,22 @@ func (n *Network) NewSwitch(ports int) *Switch {
 	if ports < 1 {
 		panic("netsim: switch needs at least one port")
 	}
+	eng, pool, sh := n.buildCtx()
 	s := &Switch{
 		id:             n.allocID(),
 		net:            n,
+		eng:            eng,
+		pool:           pool,
+		shard:          sh,
+		dropsC:         &n.Drops,
+		pausesC:        &n.PauseFrames,
 		routes:         make(map[int32][]int),
 		ingressBytes:   make([][]int64, ports),
 		upstreamPaused: make([][]bool, ports),
+	}
+	if sh != nil {
+		s.dropsC = &sh.drops
+		s.pausesC = &sh.pauseFrames
 	}
 	for i := range s.ingressBytes {
 		s.ingressBytes[i] = make([]int64, n.Cfg.PriorityLevels)
@@ -221,7 +259,16 @@ func (n *Network) AddFlow(id uint64, src, dst *Host, size int64, start sim.Time)
 	}
 	src.byID[id] = f
 	n.flows = append(n.flows, f)
-	n.Eng.ScheduleArg(start, flowStart, f)
+	if src.shard != nil && src.shard != dst.shard {
+		// Cross-shard flow: the activation event splits into a receiver half
+		// and a sender half, each scheduled on its own shard's engine at the
+		// same instant (they commute — their first interaction is the first
+		// data frame, at least one propagation delay later).
+		dst.eng.ScheduleArg(start, flowStartDst, f)
+		src.eng.ScheduleArg(start, flowStartSrc, f)
+	} else {
+		src.eng.ScheduleArg(start, flowStart, f)
+	}
 	return f
 }
 
@@ -229,32 +276,60 @@ func (n *Network) AddFlow(id uint64, src, dst *Host, size int64, start sim.Time)
 // ends and the sender is kicked.
 func flowStart(v any) {
 	f := v.(*Flow)
-	src, dst := f.SrcHost, f.DstHost
-	n := src.net
-	dst.inbound[f.ID] = f
-	dst.activeInbound++
-	if pacer, ok := n.Scheme.Receiver.(CreditPacer); ok {
-		pacer.OnInboundStart(f, dst)
-	}
-	src.startFlow(f)
+	flowStartReceiver(f)
+	f.SrcHost.startFlow(f)
 }
 
-// flowCompleted records receiver-side completion.
-func (n *Network) flowCompleted(f *Flow, at sim.Time) {
-	n.FCT.Record(metrics.FCTRecord{
+// flowStartSrc is the sender half of a cross-shard activation.
+func flowStartSrc(v any) {
+	f := v.(*Flow)
+	f.SrcHost.startFlow(f)
+}
+
+// flowStartDst is the receiver half of a cross-shard activation. It counts
+// itself as an extra start the moment it fires (not at AddFlow time) so
+// TotalEngineStats stays exact at horizons before every flow has started.
+func flowStartDst(v any) {
+	f := v.(*Flow)
+	atomic.AddUint64(&f.DstHost.net.sharding.extraStarts, 1)
+	flowStartReceiver(f)
+}
+
+// flowStartReceiver makes the QP live at the destination (the receiver
+// counts it in N from that moment; see AddFlow).
+func flowStartReceiver(f *Flow) {
+	dst := f.DstHost
+	dst.inbound[f.ID] = f
+	dst.activeInbound++
+	if pacer, ok := dst.net.Scheme.Receiver.(CreditPacer); ok {
+		pacer.OnInboundStart(f, dst)
+	}
+}
+
+// completeFlow records receiver-side completion into the host's collector
+// (the Network's in serial mode, the shard's under sharding — merged at run
+// boundaries).
+func (h *Host) completeFlow(f *Flow, at sim.Time) {
+	h.fct.Record(metrics.FCTRecord{
 		FlowID:    f.ID,
 		SizeBytes: f.SizeBytes,
 		Start:     f.Start,
 		Finish:    at,
 		Ideal:     f.IdealFCT,
 	})
-	if n.OnFlowComplete != nil {
-		n.OnFlowComplete(f, at)
+	if h.net.OnFlowComplete != nil {
+		h.net.OnFlowComplete(f, at)
 	}
 }
 
 // RunUntil drives the simulation to the given time.
-func (n *Network) RunUntil(t sim.Time) { n.Eng.RunUntil(t) }
+func (n *Network) RunUntil(t sim.Time) {
+	if n.sharding != nil {
+		n.sharding.runUntil(t)
+		return
+	}
+	n.Eng.RunUntil(t)
+}
 
 // DeadlockSuspect identifies a port-class paused beyond the watchdog
 // threshold at inspection time.
@@ -318,7 +393,7 @@ func (n *Network) RunToCompletion(deadline sim.Time) bool {
 		if next > deadline {
 			next = deadline
 		}
-		n.Eng.RunUntil(next)
+		n.RunUntil(next)
 		if n.AllDone() {
 			return true
 		}

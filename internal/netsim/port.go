@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -21,6 +22,16 @@ type Port struct {
 	owner Node
 	index int
 	net   *Network
+	// uid is the port's fabric-wide creation index: the canonical collision
+	// key ordering simultaneous link deliveries (sim.Engine key semantics).
+	// Identical between serial and sharded builds of the same topology.
+	uid int32
+
+	// Execution context: the owning shard's engine/pool under sharded
+	// execution, the Network's own otherwise (see shard.go).
+	eng        *sim.Engine
+	shard      *Shard
+	longPauses *metrics.Counter
 
 	// Link endpoint.
 	peer  *Port
@@ -59,13 +70,20 @@ type Port struct {
 // newPort constructs a port with the network's configured class count.
 func newPort(owner Node, index int, net *Network) *Port {
 	n := net.Cfg.PriorityLevels
-	return &Port{
-		owner: owner, index: index, net: net,
+	eng, _, sh := net.buildCtx()
+	p := &Port{
+		owner: owner, index: index, net: net, uid: net.nextPortUID,
+		eng: eng, shard: sh, longPauses: &net.LongPauses,
 		queues:      make([][]*packet.Packet, n),
 		classBytes:  make([]int64, n),
 		paused:      make([]bool, n),
 		pausedSince: make([]sim.Time, n),
 	}
+	net.nextPortUID++
+	if sh != nil {
+		p.longPauses = &sh.longPauses
+	}
+	return p
 }
 
 // Owner returns the node this port belongs to.
@@ -129,6 +147,11 @@ func Connect(a, b *Port, rateBps int64, delay sim.Time) {
 	a.peer, b.peer = b, a
 	a.rate, b.rate = rateBps, rateBps
 	a.delay, b.delay = delay, delay
+	if a.shard != nil && a.shard != b.shard {
+		// A boundary-crossing link: its propagation delay is a lookahead
+		// candidate for the conservative parallel executor.
+		a.net.sharding.observeLink(delay)
+	}
 }
 
 // classIndex clamps a class value to the configured levels (frames from a
@@ -172,13 +195,13 @@ func (p *Port) setClassPaused(class int, v bool) {
 	}
 	was := p.paused[class]
 	p.paused[class] = v
-	now := p.net.Eng.Now()
+	now := p.eng.Now()
 	switch {
 	case v && !was:
 		p.pausedSince[class] = now
 	case !v && was:
 		if th := p.net.Cfg.PFCLongPause; th > 0 && now-p.pausedSince[class] >= th {
-			p.net.LongPauses.Inc()
+			p.longPauses.Inc()
 		}
 	}
 	if !v {
@@ -237,7 +260,7 @@ func (p *Port) kick() {
 	}
 	if p.net.Trace != nil {
 		p.net.Trace(TraceEvent{
-			Kind: TraceTx, At: p.net.Eng.Now(),
+			Kind: TraceTx, At: p.eng.Now(),
 			Node: p.owner.ID(), Port: p.index,
 			Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 		})
@@ -246,7 +269,7 @@ func (p *Port) kick() {
 	size := pkt.SizeBytes()
 	p.txPkt = pkt
 	p.txSize = size
-	p.net.Eng.AfterArg(sim.TxTime(size, p.rate), portTxDone, p)
+	p.eng.AfterArg(sim.TxTime(size, p.rate), portTxDone, p)
 }
 
 // portTxDone fires when the transmitter finishes serializing a frame: the
@@ -261,8 +284,15 @@ func portTxDone(v any) {
 	if pkt.Type == packet.Data {
 		p.txDataBytes += uint64(size)
 	}
-	p.wire = append(p.wire, pkt)
-	p.net.Eng.AfterArg(p.delay, portDeliver, p)
+	if p.shard != p.peer.shard {
+		// The peer lives in another shard: hand the frame to the barrier
+		// exchange instead of the local wire (shard.go invariant 2). Both
+		// shard fields are nil in serial mode, so this branch is free there.
+		p.shard.sendRemote(p, pkt)
+	} else {
+		p.wire = append(p.wire, pkt)
+		p.eng.AfterArgKeyed(p.delay, p.uid, portDeliver, p)
+	}
 	p.kick()
 	if !p.busy && p.onIdle != nil {
 		p.onIdle(p)

@@ -1,0 +1,599 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file implements conservative (lookahead-based) parallel execution of
+// one packet simulation: the fabric is partitioned into shards (logical
+// processes), each owning a contiguous set of nodes together with a private
+// sim.Engine and packet.Pool. Execution proceeds in windows bounded by the
+// minimum cross-shard link latency; within a window every shard drains its
+// own event queue independently, and frames whose link crosses a shard
+// boundary are exchanged at the barrier as timestamped messages.
+//
+// The design goal is bit-identical results versus the serial engine for any
+// worker count. Three invariants deliver that:
+//
+//  1. Same-shard events keep the serial engine's order: they are scheduled
+//     on the shard engine by the same code in the same relative order as the
+//     serial run, so the per-shard event sequence is exactly the serial
+//     sequence restricted to that shard.
+//  2. Every event is ordered by the serial engine's comparator
+//     (at, schedAt, key, seq), and a cross-shard delivery carries the prefix
+//     (at, schedAt, key): arrival time, the transmit-completion instant that
+//     scheduled it, and the source port's fabric-wide UID — the same key the
+//     serial engine uses for that frame's delivery event (ports schedule
+//     deliveries through AfterArgKeyed). Frames colliding on the full prefix
+//     cannot exist (a port completes at most one transmit per instant), so
+//     merging the remote calendar with the local queue by the prefix
+//     reproduces the serial interleaving exactly. The seq tiebreak never
+//     crosses the merge: it only orders same-shard events, where it equals
+//     the serial restriction (invariant 1).
+//  3. The window end never exceeds min-event-time + lookahead, so every
+//     message generated inside a window is timestamped at or after the next
+//     barrier — no shard can receive a message in its past (the classic
+//     conservative-PDES soundness argument; the lookahead is the smallest
+//     cross-shard propagation delay, discovered while wiring links).
+//
+// Observers that need a consistent global view (experiment tickers, the
+// telemetry probe) register through Network.GlobalTicker: in serial mode it
+// is exactly Engine.Ticker; in sharded mode the coordinator caps windows at
+// each tick position and invokes the callback at the barrier, when every
+// shard is parked at the tick's serial position.
+
+// delivery is one cross-shard frame in flight: a packet that finished
+// serializing on a port whose peer lives in another shard.
+type delivery struct {
+	at      sim.Time // arrival: transmit completion + propagation delay
+	schedAt sim.Time // transmit completion (serial scheduling instant)
+	srcUID  int32    // source port's fabric-wide UID (the event key)
+	dst     *Port
+	pkt     *packet.Packet
+}
+
+// shardKey is the cross-engine total-order prefix; see invariant 2 above.
+type shardKey struct {
+	at      sim.Time
+	schedAt sim.Time
+	key     int32
+}
+
+func (a shardKey) less(b shardKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	return a.key < b.key
+}
+
+// windowEnd is an exclusive window bound covering every event that fires
+// strictly before t.
+func windowEnd(t sim.Time) shardKey { return shardKey{at: t, schedAt: -1} }
+
+// deliveryBefore orders the remote calendar by the serial comparator prefix.
+// The prefix is unique across deliveries: a port completes at most one
+// transmit per instant.
+func deliveryBefore(a, b delivery) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	return a.srcUID < b.srcUID
+}
+
+// calendar is a binary min-heap of pending remote deliveries.
+type calendar []delivery
+
+func (c *calendar) push(d delivery) {
+	q := append(*c, d)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !deliveryBefore(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*c = q
+}
+
+func (c *calendar) pop() delivery {
+	q := *c
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = delivery{}
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && deliveryBefore(q[r], q[l]) {
+			child = r
+		}
+		if !deliveryBefore(q[child], q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	*c = q
+	return top
+}
+
+// Shard is one logical process: a node partition with private engine, pool,
+// FCT collector and fabric counters. Counters accumulate deltas that the
+// coordinator folds into the Network totals at each run boundary.
+type Shard struct {
+	net   *Network
+	index int
+	eng   *sim.Engine
+	pool  *packet.Pool
+	fct   *metrics.FCTCollector
+
+	drops       metrics.Counter
+	pauseFrames metrics.Counter
+	longPauses  metrics.Counter
+
+	cal calendar     // inbound remote deliveries, merged with the engine
+	out [][]delivery // outbound per destination shard, drained at barriers
+
+	deliveries uint64 // remote frames delivered into this shard
+}
+
+// Engine returns the shard's private event engine.
+func (sh *Shard) Engine() *sim.Engine { return sh.eng }
+
+// Pool returns the shard's private packet pool.
+func (sh *Shard) Pool() *packet.Pool { return sh.pool }
+
+// Index returns the shard's position in the partition.
+func (sh *Shard) Index() int { return sh.index }
+
+// headAt returns the earliest pending time across the shard's engine and
+// remote calendar.
+func (sh *Shard) headAt() (sim.Time, bool) {
+	ea, _, _, eok := sh.eng.HeadKey()
+	if len(sh.cal) > 0 {
+		if !eok || sh.cal[0].at < ea {
+			return sh.cal[0].at, true
+		}
+	}
+	return ea, eok
+}
+
+// sendRemote queues a frame that just finished serializing on p for delivery
+// into the peer's shard. Called from shard execution context (single writer
+// per outbox row).
+func (sh *Shard) sendRemote(p *Port, pkt *packet.Packet) {
+	now := p.eng.Now()
+	dst := p.peer
+	sh.out[dst.shard.index] = append(sh.out[dst.shard.index], delivery{
+		at:      now + p.delay,
+		schedAt: now,
+		srcUID:  p.uid,
+		dst:     dst,
+		pkt:     pkt,
+	})
+}
+
+// runWindow drains every event and remote delivery whose key is strictly
+// below end, merging the engine queue with the calendar in serial order.
+func (sh *Shard) runWindow(end shardKey) {
+	for {
+		ea, es, ek2, eok := sh.eng.HeadKey()
+		dok := len(sh.cal) > 0
+		if eok {
+			ek := shardKey{at: ea, schedAt: es, key: ek2}
+			// Full-prefix ties across the merge cannot exist (invariant 2);
+			// the < keeps the comparison total regardless.
+			if !dok || ek.less(sh.cal[0].key()) {
+				if !ek.less(end) {
+					return
+				}
+				sh.eng.Step()
+				continue
+			}
+		} else if !dok {
+			return
+		}
+		dk := sh.cal[0].key()
+		if !dk.less(end) {
+			return
+		}
+		d := sh.cal.pop()
+		if sh.eng.Now() < d.at {
+			sh.eng.AdvanceTo(d.at)
+		}
+		sh.deliveries++
+		d.dst.owner.Receive(d.pkt, d.dst.index)
+	}
+}
+
+func (d delivery) key() shardKey {
+	return shardKey{at: d.at, schedAt: d.schedAt, key: d.srcUID}
+}
+
+// globalTicker is one Network.GlobalTicker registration in sharded mode.
+type globalTicker struct {
+	period  sim.Time
+	fn      func()
+	next    sim.Time
+	idx     int
+	stopped bool
+}
+
+// ShardStats summarizes the parallel executor's behavior for one run.
+type ShardStats struct {
+	// Shards is the partition size (0 when running serial).
+	Shards int
+	// Workers is the configured worker-goroutine count.
+	Workers int
+	// Lookahead is the window bound: the minimum cross-shard link delay.
+	Lookahead sim.Time
+	// Windows counts barrier-synchronized rounds executed.
+	Windows uint64
+	// Messages counts cross-shard frame deliveries exchanged at barriers.
+	Messages uint64
+	// Ticks counts global-ticker callbacks fired by the coordinator.
+	Ticks uint64
+}
+
+// Sharding is the coordinator: it owns the partition, drives windows, routes
+// messages at barriers, and fires global tickers at their serial positions.
+type Sharding struct {
+	net       *Network
+	shards    []*Shard
+	build     *Shard // partition target for nodes created now
+	workers   int
+	lookahead sim.Time
+
+	tickers     []*globalTicker
+	extraStarts uint64 // cross-shard flow starts split into two events
+	windows     uint64
+	messages    uint64
+	ticks       uint64
+}
+
+// ConfigureSharding partitions the network into shards executed by workers
+// goroutines. It must be called before any node is created: per-node
+// execution context (engine, pool, counters) is bound at creation time.
+// Topology builders call BuildShard to select the partition target while
+// creating nodes, then Connect discovers the lookahead from cross-shard
+// links.
+func (n *Network) ConfigureSharding(shards, workers int) {
+	if len(n.Hosts) > 0 || len(n.Switches) > 0 {
+		panic("netsim: ConfigureSharding must run before nodes are created")
+	}
+	if shards < 1 {
+		panic(fmt.Sprintf("netsim: invalid shard count %d", shards))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := &Sharding{net: n, workers: workers}
+	for i := 0; i < shards; i++ {
+		g.shards = append(g.shards, &Shard{
+			net:         n,
+			index:       i,
+			eng:         sim.NewEngine(),
+			pool:        packet.NewPool(),
+			fct:         metrics.NewFCTCollector(),
+			drops:       metrics.Counter{Name: "drops"},
+			pauseFrames: metrics.Counter{Name: "pause_frames"},
+			longPauses:  metrics.Counter{Name: "long_pauses"},
+			out:         make([][]delivery, shards),
+		})
+	}
+	g.build = g.shards[0]
+	n.sharding = g
+}
+
+// BuildShard selects the shard that owns nodes created from now on.
+func (n *Network) BuildShard(i int) {
+	if n.sharding == nil {
+		panic("netsim: BuildShard without ConfigureSharding")
+	}
+	n.sharding.build = n.sharding.shards[i]
+}
+
+// Sharded reports whether the network runs under the parallel executor.
+func (n *Network) Sharded() bool { return n.sharding != nil }
+
+// Shards returns the partition (nil when running serial).
+func (n *Network) Shards() []*Shard {
+	if n.sharding == nil {
+		return nil
+	}
+	return n.sharding.shards
+}
+
+// ShardStats returns the parallel executor's counters (zero value when
+// running serial).
+func (n *Network) ShardStats() ShardStats {
+	if n.sharding == nil {
+		return ShardStats{}
+	}
+	g := n.sharding
+	return ShardStats{
+		Shards:    len(g.shards),
+		Workers:   g.workers,
+		Lookahead: g.lookahead,
+		Windows:   g.windows,
+		Messages:  g.messages,
+		Ticks:     g.ticks,
+	}
+}
+
+// TotalEngineStats aggregates scheduler telemetry across the partition so
+// the headline event count matches the serial run exactly: remote deliveries
+// and coordinator ticks are events the serial engine would have processed,
+// and a cross-shard flow start is one serial event split in two.
+func (n *Network) TotalEngineStats() sim.EngineStats {
+	total := n.Eng.Stats()
+	if n.sharding == nil {
+		return total
+	}
+	g := n.sharding
+	for _, sh := range g.shards {
+		s := sh.eng.Stats()
+		total.Processed += s.Processed + sh.deliveries
+		total.Scheduled += s.Scheduled
+		total.Canceled += s.Canceled
+		total.SlotReuses += s.SlotReuses
+		total.Slots += s.Slots
+	}
+	total.Processed += g.ticks - g.extraStarts
+	return total
+}
+
+// TotalPoolStats aggregates packet-pool telemetry across the partition.
+func (n *Network) TotalPoolStats() packet.PoolStats {
+	total := n.Pool.Stats()
+	if n.sharding == nil {
+		return total
+	}
+	for _, sh := range n.sharding.shards {
+		s := sh.pool.Stats()
+		total.Gets += s.Gets
+		total.News += s.News
+		total.Puts += s.Puts
+	}
+	return total
+}
+
+// GlobalTicker invokes fn every period with a consistent view of the whole
+// fabric. Serial mode delegates to Engine.Ticker (bit-identical schedule);
+// sharded mode fires fn at barriers where every shard is parked exactly at
+// the tick's position in the serial order, so fn may read any cross-shard
+// state. The first tick fires one period from now.
+func (n *Network) GlobalTicker(period sim.Time, fn func()) (stop func()) {
+	if n.sharding == nil {
+		return n.Eng.Ticker(period, fn)
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive ticker period %v", period))
+	}
+	g := n.sharding
+	t := &globalTicker{
+		period: period,
+		fn:     fn,
+		next:   n.Eng.Now() + period,
+		idx:    len(g.tickers),
+	}
+	g.tickers = append(g.tickers, t)
+	return func() { t.stopped = true }
+}
+
+// observeLink records a cross-shard link's propagation delay as a lookahead
+// candidate; Connect calls it for every boundary-crossing link.
+func (g *Sharding) observeLink(delay sim.Time) {
+	if delay <= 0 {
+		panic("netsim: cross-shard link needs positive propagation delay (lookahead)")
+	}
+	if g.lookahead == 0 || delay < g.lookahead {
+		g.lookahead = delay
+	}
+}
+
+// nextTick returns the live ticker that fires first, ordered by
+// (next, schedAt, idx) where schedAt = next - period: a colliding ticker
+// with the longer period scheduled its pending event earlier in the serial
+// run and therefore fires first.
+func (g *Sharding) nextTick() *globalTicker {
+	var best *globalTicker
+	for _, t := range g.tickers {
+		if t.stopped {
+			continue
+		}
+		if best == nil {
+			best = t
+			continue
+		}
+		bs, ts := best.next-best.period, t.next-t.period
+		if t.next < best.next ||
+			(t.next == best.next && (ts < bs || (ts == bs && t.idx < best.idx))) {
+			best = t
+		}
+	}
+	return best
+}
+
+// runWindows executes one window [*, end) on every shard, then routes the
+// outboxes into the destination calendars. The barrier (WaitGroup) is the
+// synchronization point that transfers packet ownership between shards.
+func (g *Sharding) runWindows(end shardKey) {
+	w := g.workers
+	if w > len(g.shards) {
+		w = len(g.shards)
+	}
+	if w <= 1 {
+		for _, sh := range g.shards {
+			sh.runWindow(end)
+		}
+	} else {
+		var cursor atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(cursor.Add(1)) - 1
+					if j >= len(g.shards) {
+						return
+					}
+					g.shards[j].runWindow(end)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	g.windows++
+	for _, sh := range g.shards {
+		for di := range sh.out {
+			msgs := sh.out[di]
+			if len(msgs) == 0 {
+				continue
+			}
+			dst := g.shards[di]
+			for _, d := range msgs {
+				dst.cal.push(d)
+			}
+			g.messages += uint64(len(msgs))
+			sh.out[di] = sh.out[di][:0]
+		}
+	}
+}
+
+// runUntil is the sharded counterpart of Engine.RunUntil: it processes every
+// event and tick with firing time <= limit, then aligns all clocks on limit.
+func (g *Sharding) runUntil(limit sim.Time) {
+	n := g.net
+	if n.Trace != nil {
+		panic("netsim: Network.Trace is not supported under sharded execution")
+	}
+	if n.OnFlowComplete != nil {
+		panic("netsim: Network.OnFlowComplete is not supported under sharded execution")
+	}
+	endAll := windowEnd(limit + 1)
+	for {
+		m := sim.Time(-1)
+		for _, sh := range g.shards {
+			if at, ok := sh.headAt(); ok && (m < 0 || at < m) {
+				m = at
+			}
+		}
+		tk := g.nextTick()
+		tickPending := tk != nil && tk.next <= limit
+		if (m < 0 || m > limit) && !tickPending {
+			break
+		}
+
+		end := endAll
+		if m >= 0 && m <= limit && g.lookahead > 0 {
+			if la := windowEnd(m + g.lookahead); la.less(end) {
+				end = la
+			}
+		}
+		fireTick := false
+		if tickPending {
+			// The window stops exactly at the tick's serial ordering key
+			// (at, schedAt, KeyNone): keyed deliveries at the tick instant
+			// still precede it, unkeyed local events at the identical
+			// (at, schedAt) follow it.
+			tkEnd := shardKey{at: tk.next, schedAt: tk.next - tk.period, key: sim.KeyNone}
+			if !end.less(tkEnd) {
+				end = tkEnd
+				fireTick = true
+			}
+		}
+
+		g.runWindows(end)
+
+		if fireTick {
+			at, schedAt := tk.next, tk.next-tk.period
+			if n.Eng.Now() < at {
+				n.Eng.AdvanceTo(at)
+			}
+			for _, t := range g.tickers {
+				if t.stopped || t.next != at || t.next-t.period != schedAt {
+					continue
+				}
+				g.ticks++
+				t.fn()
+				if !t.stopped {
+					t.next = at + t.period
+				}
+			}
+		}
+	}
+	for _, sh := range g.shards {
+		if sh.eng.Now() < limit {
+			sh.eng.AdvanceTo(limit)
+		}
+	}
+	if n.Eng.Now() < limit {
+		n.Eng.AdvanceTo(limit)
+	}
+	g.mergeResults()
+}
+
+// mergeResults folds per-shard counter deltas and FCT records into the
+// Network-level aggregates. Records are k-way merged by
+// (Finish, within-shard order, FlowID tiebreak across shards), which is the
+// serial completion order: within a shard, completion order is the serial
+// order restricted to the shard, and cross-shard ties at one instant are
+// broken canonically.
+func (g *Sharding) mergeResults() {
+	n := g.net
+	for _, sh := range g.shards {
+		n.Drops.Add(sh.drops.N)
+		sh.drops.N = 0
+		n.PauseFrames.Add(sh.pauseFrames.N)
+		sh.pauseFrames.N = 0
+		n.LongPauses.Add(sh.longPauses.N)
+		sh.longPauses.N = 0
+	}
+	heads := make([]int, len(g.shards))
+	for {
+		best := -1
+		for i, sh := range g.shards {
+			if heads[i] >= len(sh.fct.Records) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a := g.shards[i].fct.Records[heads[i]]
+			b := g.shards[best].fct.Records[heads[best]]
+			if a.Finish < b.Finish || (a.Finish == b.Finish && a.FlowID < b.FlowID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n.FCT.Record(g.shards[best].fct.Records[heads[best]])
+		heads[best]++
+	}
+	for _, sh := range g.shards {
+		sh.fct.Records = sh.fct.Records[:0]
+	}
+}

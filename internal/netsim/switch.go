@@ -3,7 +3,9 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
+	"repro/internal/sim"
 )
 
 // Switch is an output-queued, store-and-forward Ethernet switch with a
@@ -15,6 +17,14 @@ type Switch struct {
 	net   *Network
 	ports []*Port
 	hook  SwitchHook
+
+	// Execution context: the owning shard's engine/pool/counters under
+	// sharded execution, the Network's own otherwise (see shard.go).
+	eng     *sim.Engine
+	pool    *packet.Pool
+	shard   *Shard
+	dropsC  *metrics.Counter
+	pausesC *metrics.Counter
 
 	// routes maps destination host ID to the equal-cost egress port set.
 	routes map[int32][]int
@@ -49,8 +59,16 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 // PortAt implements Node.
 func (s *Switch) PortAt(i int) *Port { return s.ports[i] }
 
-// Net returns the owning network (hooks use it for the engine and config).
+// Net returns the owning network (hooks use it for configuration).
 func (s *Switch) Net() *Network { return s.net }
+
+// Engine returns the event engine driving this switch: the Network's engine
+// in serial mode, the owning shard's under sharded execution. Switch hooks
+// must arm their timers here, never on Net().Eng.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
+// Shard returns the shard owning this switch (nil when running serial).
+func (s *Switch) Shard() *Shard { return s.shard }
 
 // Hook returns the installed congestion-point hook.
 func (s *Switch) Hook() SwitchHook { return s.hook }
@@ -103,11 +121,11 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	switch pkt.Type {
 	case packet.PfcPause:
 		s.ports[inPort].setClassPaused(int(pkt.PauseClass), true)
-		s.net.Pool.Put(pkt) // PFC is link-local: consumed here
+		s.pool.Put(pkt) // PFC is link-local: consumed here
 		return
 	case packet.PfcResume:
 		s.ports[inPort].setClassPaused(int(pkt.PauseClass), false)
-		s.net.Pool.Put(pkt)
+		s.pool.Put(pkt)
 		return
 	}
 
@@ -126,15 +144,15 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	if pkt.Type == packet.Data {
 		if s.buffered+size > s.net.Cfg.SharedBufferBytes {
 			s.Drops++
-			s.net.Drops.Inc()
+			s.dropsC.Inc()
 			if s.net.Trace != nil {
 				s.net.Trace(TraceEvent{
-					Kind: TraceDrop, At: s.net.Eng.Now(),
+					Kind: TraceDrop, At: s.eng.Now(),
 					Node: s.id, Port: -1,
 					Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 				})
 			}
-			s.net.Pool.Put(pkt) // dropped: the buffer was its last owner
+			s.pool.Put(pkt) // dropped: the buffer was its last owner
 			return
 		}
 		s.buffered += size
@@ -149,7 +167,7 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 	if pkt.Type == packet.Data {
 		if s.net.Trace != nil {
 			s.net.Trace(TraceEvent{
-				Kind: TraceEnqueue, At: s.net.Eng.Now(),
+				Kind: TraceEnqueue, At: s.eng.Now(),
 				Node: s.id, Port: outPort,
 				Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 			})
@@ -160,7 +178,7 @@ func (s *Switch) Receive(pkt *packet.Packet, inPort int) {
 			s.EcnMarks++
 			if s.net.Trace != nil {
 				s.net.Trace(TraceEvent{
-					Kind: TraceMark, At: s.net.Eng.Now(),
+					Kind: TraceMark, At: s.eng.Now(),
 					Node: s.id, Port: outPort,
 					Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 				})
@@ -185,7 +203,7 @@ func (s *Switch) onPortDequeue(p *Port, pkt *packet.Packet) {
 	s.hook.OnDequeue(s, pkt, p.index)
 	if pkt.Type == packet.Data && s.net.Trace != nil {
 		s.net.Trace(TraceEvent{
-			Kind: TraceDequeue, At: s.net.Eng.Now(),
+			Kind: TraceDequeue, At: s.eng.Now(),
 			Node: s.id, Port: p.index,
 			Type: pkt.Type, FlowID: pkt.FlowID, Seq: pkt.Seq, Size: pkt.SizeBytes(),
 		})
@@ -207,15 +225,15 @@ func (s *Switch) checkPause(inPort, class int) {
 	}
 	s.upstreamPaused[inPort][class] = true
 	s.PauseFrames++
-	s.net.PauseFrames.Inc()
+	s.pausesC.Inc()
 	if s.net.Trace != nil {
 		s.net.Trace(TraceEvent{
-			Kind: TracePause, At: s.net.Eng.Now(),
+			Kind: TracePause, At: s.eng.Now(),
 			Node: s.id, Port: inPort,
 			Type: packet.PfcPause, Seq: int64(class),
 		})
 	}
-	pf := s.net.Pool.Get()
+	pf := s.pool.Get()
 	pf.Type, pf.PauseClass = packet.PfcPause, uint8(class)
 	s.ports[inPort].enqueue(pf)
 }
@@ -230,12 +248,12 @@ func (s *Switch) checkResume(inPort, class int) {
 	s.ResumeFrames++
 	if s.net.Trace != nil {
 		s.net.Trace(TraceEvent{
-			Kind: TraceResume, At: s.net.Eng.Now(),
+			Kind: TraceResume, At: s.eng.Now(),
 			Node: s.id, Port: inPort,
 			Type: packet.PfcResume, Seq: int64(class),
 		})
 	}
-	pf := s.net.Pool.Get()
+	pf := s.pool.Get()
 	pf.Type, pf.PauseClass = packet.PfcResume, uint8(class)
 	s.ports[inPort].enqueue(pf)
 }
@@ -249,7 +267,7 @@ func (s *Switch) PortINT(port int) packet.IntHop {
 		SwitchID: s.id,
 		PortID:   int32(port),
 		B:        p.RateBps(),
-		TS:       s.net.Eng.Now(),
+		TS:       s.eng.Now(),
 		TxBytes:  p.TxBytes(),
 		QLen:     uint32(p.QueueBytes()),
 	}

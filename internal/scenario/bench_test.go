@@ -26,3 +26,21 @@ func BenchmarkFCTPointPacket(b *testing.B) { benchRun(b, benchFCTSpec(BackendPac
 
 // BenchmarkFCTPointFluid is the fluid-backend cost of the same point.
 func BenchmarkFCTPointFluid(b *testing.B) { benchRun(b, benchFCTSpec(BackendFluid)) }
+
+// benchFCTSpecK8 is the paper-scale k=8 WebSearch point (128 hosts, 2k+
+// flows) used by the parallel-speedup gate: heavy enough that per-window
+// work dominates barrier cost.
+func benchFCTSpecK8(workers int) Spec {
+	return Spec{Kind: KindFCT, Scheme: "FNCC",
+		Workload: WorkloadSpec{CDF: "websearch"}, Load: 0.5, Seed: 2,
+		DurationUs: 300, Workers: workers}
+}
+
+// BenchmarkFCTPointPacketK8 is the serial cost of the k=8 point.
+func BenchmarkFCTPointPacketK8(b *testing.B) { benchRun(b, benchFCTSpecK8(0)) }
+
+// BenchmarkFCTPointPacketParallel is the same point on the LP-sharded
+// executor with 4 workers (bit-identical result). benchguard derives
+// packet_parallel_speedup = K8/Parallel into the perf snapshot and CI
+// floors it at 2x.
+func BenchmarkFCTPointPacketParallel(b *testing.B) { benchRun(b, benchFCTSpecK8(4)) }

@@ -17,8 +17,8 @@ func TestDatacenterFluidScenarioSpecs(t *testing.T) {
 		kind string
 		hash string
 	}{
-		{"fct-websearch-fluid-k16", 16, KindFCT, "sc-3b6ad5df89e5d044"},
-		{"permutation-fluid-k32", 32, KindPermutation, "sc-dc50fc619478ebeb"},
+		{"fct-websearch-fluid-k16", 16, KindFCT, "sc-bacbcc54285f9595"},
+		{"permutation-fluid-k32", 32, KindPermutation, "sc-2f3451166865ffb4"},
 	}
 	for _, tc := range cases {
 		sp, err := Lookup(tc.name)

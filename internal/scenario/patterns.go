@@ -45,7 +45,8 @@ func buildFatTree(sp Spec) (*topo.FatTree, error) {
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = sp.Seed
 	opts := topo.FatTreeOpts{K: sp.Topo.K, RateBps: sp.Topo.RateBps(),
-		CoreRateBps: sp.Topo.CoreRateBps(), Delay: sp.Topo.Delay()}
+		CoreRateBps: sp.Topo.CoreRateBps(), Delay: sp.Topo.Delay(),
+		Workers: sp.Workers}
 	return topo.BuildFatTree(ncfg, scheme, opts)
 }
 

@@ -65,6 +65,11 @@ var knownMetrics = map[string]bool{
 	// Telemetry bookkeeping, present only when the spec has a telemetry
 	// block: probe samples recorded and trace events captured.
 	"telemetry_samples": true, "trace_events": true,
+	// Parallel-executor telemetry, present only when workers > 1 sharded
+	// the run: partition size, worker count, barrier rounds and cross-shard
+	// frame deliveries. All deterministic for a given spec.
+	"parallel_workers": true, "parallel_shards": true,
+	"parallel_windows": true, "cross_shard_messages": true,
 }
 
 // perfMetrics folds a runner's PerfStats into the flat metric map.
@@ -75,6 +80,12 @@ func perfMetrics(m map[string]float64, p exp.PerfStats) {
 	m["pool_hit_rate"] = p.PoolHitRate
 	m["mallocs_per_run"] = float64(p.Mallocs)
 	m["alloc_bytes_per_run"] = float64(p.AllocBytes)
+	if p.Shard.Shards > 0 {
+		m["parallel_workers"] = float64(p.Shard.Workers)
+		m["parallel_shards"] = float64(p.Shard.Shards)
+		m["parallel_windows"] = float64(p.Shard.Windows)
+		m["cross_shard_messages"] = float64(p.Shard.Messages)
+	}
 }
 
 // BuildScheme constructs the named scheme with parameter overrides applied.
@@ -251,6 +262,7 @@ func runMicro(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg.Duration = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
 	cfg.Telemetry = sp.Telemetry.Config()
+	cfg.Workers = sp.Workers
 	r, err := exp.RunMicro(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -273,6 +285,7 @@ func runHop(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg.Duration = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
 	cfg.Telemetry = sp.Telemetry.Config()
+	cfg.Workers = sp.Workers
 	r, err := exp.RunHop(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -293,6 +306,7 @@ func runFairness(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg.Stagger = sim.Time(sp.Workload.StaggerUs) * sim.Microsecond
 	cfg.MakeScheme = schemeBuilder(sp)
 	cfg.Telemetry = sp.Telemetry.Config()
+	cfg.Workers = sp.Workers
 	r, err := exp.RunFairness(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -318,6 +332,7 @@ func runFCT(sp Spec) (map[string]float64, *telemetry.Output, error) {
 		CoreRateBps: sp.Topo.CoreRateBps(),
 		MakeScheme:  schemeBuilder(sp),
 		Telemetry:   sp.Telemetry.Config(),
+		Workers:     sp.Workers,
 	}
 	r, err := exp.RunFCT(cfg)
 	if err != nil {
@@ -343,6 +358,7 @@ func runIncast(sp Spec) (map[string]float64, *telemetry.Output, error) {
 	cfg.Deadline = sp.Duration()
 	cfg.MakeScheme = schemeBuilder(sp)
 	cfg.Telemetry = sp.Telemetry.Config()
+	cfg.Workers = sp.Workers
 	r, err := exp.RunIncast(cfg)
 	if err != nil {
 		return nil, nil, err

@@ -34,7 +34,7 @@ func TestCanonicalGolden(t *testing.T) {
 		`"topo":{"kind":"fattree","k":4,"rate_gbps":100,"oversub":2,"delay_ns":1500},` +
 		`"workload":{"cdf":"websearch"},"load":0.4,"seed":7,"duration_us":500,` +
 		`"collect":["slowdown_avg","slowdown_p99"]}`
-	const wantHash = "sc-77f6cea5d3de141d"
+	const wantHash = "sc-9d255570be198529" // fncc-scenario-v2 epoch
 
 	sp := goldenSpec()
 	c, err := sp.Canonical()

@@ -194,6 +194,15 @@ type Spec struct {
 	// hash. A configured block is part of the content hash: sampled runs
 	// never share a cache entry with unsampled ones.
 	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+	// Workers selects the packet engine's execution mode: values > 1 run
+	// the LP-sharded parallel executor (internal/netsim) with that many
+	// worker goroutines; 0 or 1 run the classic serial engine. Parallel
+	// runs are bit-identical to serial, so 0 and 1 normalize to the
+	// omitted zero value and leave the canonical encoding — and therefore
+	// the cache hash — unchanged. Workers > 1 does enter the hash: a
+	// sharded run emits extra execution metrics (parallel_*), so it keeps
+	// a distinct cache identity.
+	Workers int `json:"workers,omitempty"`
 }
 
 // TelemetrySpec is the spec-level telemetry block (see internal/telemetry).
@@ -248,6 +257,9 @@ func (s Spec) Normalized() Spec {
 		n.Backend = "" // packet is the zero value: default specs keep
 		// their pre-backend canonical encoding and hash, so existing
 		// result caches stay valid.
+	}
+	if n.Workers == 1 {
+		n.Workers = 0 // one worker is the serial engine: hash-neutral
 	}
 	if n.Topo.Kind == "" {
 		if fatTreeKinds[n.Kind] {
@@ -473,6 +485,19 @@ func (s Spec) Validate() error {
 				BackendFluid)
 		}
 	}
+	if n.Workers < 0 {
+		return fmt.Errorf("scenario: negative workers %d", n.Workers)
+	}
+	if n.Workers > 1 {
+		if n.BackendName() == BackendFluid {
+			return fmt.Errorf("scenario: workers selects the packet engine's parallel executor; backend %q rejects it",
+				BackendFluid)
+		}
+		if n.Telemetry != nil && n.Telemetry.TraceCap != 0 {
+			return fmt.Errorf("scenario: event tracing (trace_cap) is unsupported under the parallel executor (workers=%d)",
+				n.Workers)
+		}
+	}
 	return n.validateKnobUse()
 }
 
@@ -563,7 +588,14 @@ func (s Spec) Canonical() ([]byte, error) {
 // topology wiring, workload generation, metric definitions) so stale
 // harness caches invalidate instead of silently serving pre-change
 // numbers.
-const cacheEpoch = "fncc-scenario-v1\n"
+//
+// v2: the event engine adopted the canonical (at, schedAt, key, seq)
+// collision order — simultaneous link deliveries fire in port-UID order
+// instead of historical scheduling order (the invariant that makes the
+// LP-sharded parallel executor bit-identical to serial). Collision
+// instants are rare but real: one golden micro metric moved, so v1
+// caches would serve stale numbers.
+const cacheEpoch = "fncc-scenario-v2\n"
 
 // Hash is the stable content hash of the canonical encoding (salted with
 // cacheEpoch), the key the harness caches results under. Specs differing

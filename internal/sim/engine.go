@@ -1,14 +1,18 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // The engine is allocation-free in steady state. Events live in a
 // slot slab owned by the engine; Schedule hands out value-type handles
 // carrying a generation counter, freed slots recycle through a freelist, and
 // cancellation is O(1) lazy tombstoning swept when the priority queue pops
-// the entry. The (time, seq) tiebreak gives every event a unique position in
-// a strict total order, so firing order — and therefore every downstream
-// measurement — is bit-identical to the historical container/heap engine.
+// the entry. The (time, schedAt, key, seq) tiebreak gives every event a
+// unique position in a strict total order, so firing order — and therefore
+// every downstream measurement — is deterministic and, for keyed link
+// deliveries, reproducible by the sharded parallel executor (see HeadKey).
 
 // Event is a handle to a scheduled callback, returned by Schedule/After so
 // the caller can cancel it (e.g. a retransmission timer disarmed by an ACK).
@@ -54,17 +58,36 @@ type slot struct {
 	arg   any
 }
 
+// KeyNone is the ordering key of every event scheduled without an explicit
+// key. It sorts after all explicit keys, so keyed events (link deliveries)
+// fire before unkeyed ones when both share an (at, schedAt) instant — the
+// canonical collision order the sharded executor reproduces (see HeadKey).
+const KeyNone int32 = math.MaxInt32
+
 // entry is one priority-queue element. It carries the ordering key inline so
 // sift operations never chase into the slot slab.
 type entry struct {
-	at   Time
-	seq  uint64 // tiebreak: same-time events fire in scheduling order
-	slot int32
+	at      Time
+	schedAt Time   // engine time when the event was scheduled (see HeadKey)
+	seq     uint64 // final tiebreak: scheduling order
+	key     int32  // canonical collision key (KeyNone unless keyed)
+	slot    int32
 }
 
+// before orders by (at, schedAt, key, seq). Because seq is assigned in
+// scheduling order and the clock never moves backwards, seq is monotone in
+// schedAt; for unkeyed events this order is therefore identical to the
+// classic (at, seq) order. The key term canonicalizes only true collisions:
+// distinct events sharing both firing and scheduling instants.
 func (a entry) before(b entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.seq < b.seq
 }
@@ -167,7 +190,7 @@ func (e *Engine) release(i int32) {
 	e.free = append(e.free, i)
 }
 
-func (e *Engine) push(at Time, fn func(), argFn func(any), arg any) Event {
+func (e *Engine) push(at Time, key int32, fn func(), argFn func(any), arg any) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
@@ -178,7 +201,7 @@ func (e *Engine) push(at Time, fn func(), argFn func(any), arg any) Event {
 	s.fn = fn
 	s.argFn = argFn
 	s.arg = arg
-	e.queue = append(e.queue, entry{at: at, seq: e.seq, slot: i})
+	e.queue = append(e.queue, entry{at: at, schedAt: e.now, seq: e.seq, key: key, slot: i})
 	e.seq++
 	e.scheduled++
 	e.live++
@@ -193,7 +216,7 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	return e.push(at, fn, nil, nil)
+	return e.push(at, KeyNone, fn, nil, nil)
 }
 
 // After registers fn to run d after the current time.
@@ -212,7 +235,7 @@ func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) Event {
 	if fn == nil {
 		panic("sim: schedule with nil callback")
 	}
-	return e.push(at, nil, fn, arg)
+	return e.push(at, KeyNone, nil, fn, arg)
 }
 
 // AfterArg registers fn(arg) to run d after the current time; see
@@ -222,6 +245,23 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) Event {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
+// AfterArgKeyed is AfterArg with an explicit collision key below KeyNone.
+// Events that share an (at, schedAt) instant fire in key order, regardless
+// of scheduling order within the instant — the hook netsim uses to give
+// simultaneous link deliveries a canonical, executor-independent order.
+func (e *Engine) AfterArgKeyed(d Time, key int32, fn func(any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil callback")
+	}
+	if key < 0 || key == KeyNone {
+		panic(fmt.Sprintf("sim: event key %d out of range", key))
+	}
+	return e.push(e.now+d, key, nil, fn, arg)
 }
 
 // Cancel deactivates ev if it has not fired. Safe to call on zero or stale
@@ -299,6 +339,38 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// HeadKey peeks at the earliest pending event and returns its ordering key
+// prefix (firing time, scheduling time, collision key). The triple is the
+// merge key used by the sharded parallel executor: it is meaningful across
+// engines — a cross-shard frame delivery carries the same triple — so the
+// shard loop can merge its calendar of remote deliveries with the local
+// queue in exactly the serial engine's order. Tombstones are swept off the
+// front so the answer reflects a live event. ok is false when the queue is
+// empty.
+func (e *Engine) HeadKey() (at, schedAt Time, key int32, ok bool) {
+	for len(e.queue) > 0 && !e.slots[e.queue[0].slot].live {
+		i := e.queue[0].slot
+		e.popTop()
+		e.release(i)
+	}
+	if len(e.queue) == 0 {
+		return 0, 0, 0, false
+	}
+	return e.queue[0].at, e.queue[0].schedAt, e.queue[0].key, true
+}
+
+// AdvanceTo moves the clock forward to t without firing anything. The
+// sharded executor uses it to position an engine at a remote delivery's
+// timestamp before invoking the receive path, and to align all engines on a
+// window boundary. Moving time backwards panics, exactly like scheduling in
+// the past.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, e.now))
+	}
+	e.now = t
 }
 
 // siftUp restores the heap property after appending at index i.

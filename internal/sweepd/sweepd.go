@@ -25,7 +25,6 @@ package sweepd
 import (
 	"fmt"
 	"log/slog"
-	"runtime"
 	"sync"
 	"time"
 
@@ -92,10 +91,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("sweepd: Config.Runner is required")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	// The shared job pool is sized by the central GOMAXPROCS budget (jobs
+	// submitted to the service run serial simulations, so simWorkers is 1).
+	workers := harness.PoolWorkers(cfg.Workers, 0)
 	logger := cfg.Logger
 	if logger == nil {
 		logger, _ = obs.NewLogger(obs.LogOff, nil)

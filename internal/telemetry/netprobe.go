@@ -122,7 +122,7 @@ func AttachNet(n *netsim.Network, cfg Config, capacity int) *NetProbe {
 		p.scratch = make([]float64, maxVars)
 	}
 	if len(p.rec.cols) > 0 {
-		p.stop = n.Eng.Ticker(cfg.Interval, p.sample)
+		p.stop = n.GlobalTicker(cfg.Interval, p.sample)
 	}
 	if cfg.TraceCap > 0 {
 		p.tr = trace.NewRecorder(cfg.TraceCap)

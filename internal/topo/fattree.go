@@ -23,6 +23,12 @@ type FatTreeOpts struct {
 	CoreRateBps int64
 	// Delay is the uniform propagation delay.
 	Delay sim.Time
+	// Workers > 1 runs the simulation on the conservative parallel executor
+	// with one shard per pod plus a core shard, executed by Workers
+	// goroutines. Results are bit-identical to serial (Workers <= 1). The
+	// shard plan depends only on the topology, not on Workers, so any two
+	// parallel worker counts are identical by construction.
+	Workers int
 }
 
 // coreRate resolves the effective agg-core rate.
@@ -68,13 +74,30 @@ func BuildFatTree(cfg netsim.Config, scheme netsim.Scheme, opts FatTreeOpts) (*F
 	}
 	ft := &FatTree{Net: n, Opts: opts}
 
+	// Shard plan for parallel execution: pod p owns its hosts, edges and
+	// aggs (shard p); every core switch lands in shard k. All cross-shard
+	// links (agg-core) carry opts.Delay, which becomes the lookahead.
+	sharded := opts.Workers > 1
+	if sharded {
+		n.ConfigureSharding(k+1, opts.Workers)
+	}
+
 	nHosts := k * k * k / 4
 	for i := 0; i < nHosts; i++ {
+		if sharded {
+			n.BuildShard(i / (half * half)) // host's pod
+		}
 		ft.Hosts = append(ft.Hosts, n.NewHost())
 	}
 	for i := 0; i < k*half; i++ {
+		if sharded {
+			n.BuildShard(i / half) // pod of edge/agg pair i
+		}
 		ft.Edge = append(ft.Edge, n.NewSwitch(k)) // half hosts + half aggs
 		ft.Agg = append(ft.Agg, n.NewSwitch(k))   // half edges + half cores
+	}
+	if sharded {
+		n.BuildShard(k)
 	}
 	for i := 0; i < half*half; i++ {
 		ft.Core = append(ft.Core, n.NewSwitch(k)) // one port per pod
